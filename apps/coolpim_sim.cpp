@@ -1,0 +1,192 @@
+// coolpim_sim -- command-line front end for the full-system simulator.
+//
+// Usage:
+//   coolpim_sim [options]
+//     --workload NAME     dc|kcore|pagerank|bfs-ta|bfs-dwc|bfs-ttc|bfs-twc|
+//                         sssp-dtc|sssp-dwc|sssp-twc|cc|tc|all   (default dc)
+//     --scenario NAME     baseline|naive|coolpim-sw|coolpim-hw|ideal|all
+//                         (default all)
+//     --scale N           RMAT scale, 2^N vertices      (default 18)
+//     --cooling NAME      passive|low-end|commodity|high-end (default commodity)
+//     --cf N              control factor (blocks for SW, warps for HW)
+//     --target RATE       PIM-rate budget in op/ns      (default 1.3)
+//     --pei               PEI-style coherent offloading instead of GraphPIM
+//     --timeline          print the PIM-rate/temperature time series
+//     --seed N            graph seed                    (default 1)
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "common/table.hpp"
+#include "sys/report.hpp"
+#include "sys/system.hpp"
+
+using namespace coolpim;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> workloads{"dc"};
+  std::vector<sys::Scenario> scenarios{sys::kAllScenarios,
+                                       sys::kAllScenarios + 5};
+  unsigned scale{18};
+  std::uint64_t seed{1};
+  power::CoolingType cooling{power::CoolingType::kCommodityServer};
+  std::optional<std::uint32_t> control_factor;
+  double target{1.3};
+  bool pei{false};
+  bool timeline{false};
+  std::string csv_path;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: coolpim_sim [--workload NAME|all] [--scenario NAME|all|bw-throttle]\n"
+      "                   [--scale N]\n"
+      "                   [--cooling passive|low-end|commodity|high-end] [--cf N]\n"
+      "                   [--target OP_PER_NS] [--pei] [--timeline] [--seed N]\n"
+      "                   [--csv FILE]\n";
+  std::exit(msg ? 2 : 0);
+}
+
+std::vector<sys::Scenario> parse_scenarios(const std::string& s) {
+  if (s == "all") return {sys::kAllScenarios, sys::kAllScenarios + 5};
+  if (s == "baseline") return {sys::Scenario::kNonOffloading};
+  if (s == "naive") return {sys::Scenario::kNaiveOffloading};
+  if (s == "coolpim-sw") return {sys::Scenario::kCoolPimSw};
+  if (s == "coolpim-hw") return {sys::Scenario::kCoolPimHw};
+  if (s == "ideal") return {sys::Scenario::kIdealThermal};
+  if (s == "bw-throttle") return {sys::Scenario::kBwThrottle};
+  usage(("unknown scenario: " + s).c_str());
+}
+
+power::CoolingType parse_cooling(const std::string& s) {
+  if (s == "passive") return power::CoolingType::kPassive;
+  if (s == "low-end") return power::CoolingType::kLowEndActive;
+  if (s == "commodity") return power::CoolingType::kCommodityServer;
+  if (s == "high-end") return power::CoolingType::kHighEndActive;
+  usage(("unknown cooling: " + s).c_str());
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage();
+    else if (arg == "--workload") {
+      const std::string v = need_value(i);
+      if (v == "all") {
+        opt.workloads = sys::workload_names();
+      } else {
+        opt.workloads = {v};
+      }
+    } else if (arg == "--scenario") {
+      opt.scenarios = parse_scenarios(need_value(i));
+    } else if (arg == "--scale") {
+      opt.scale = static_cast<unsigned>(std::atoi(need_value(i).c_str()));
+      if (opt.scale < 8 || opt.scale > 24) usage("scale must be in [8, 24]");
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--cooling") {
+      opt.cooling = parse_cooling(need_value(i));
+    } else if (arg == "--cf") {
+      opt.control_factor = static_cast<std::uint32_t>(std::atoi(need_value(i).c_str()));
+    } else if (arg == "--target") {
+      opt.target = std::atof(need_value(i).c_str());
+      if (opt.target <= 0.0) usage("target must be positive");
+    } else if (arg == "--pei") {
+      opt.pei = true;
+    } else if (arg == "--timeline") {
+      opt.timeline = true;
+    } else if (arg == "--csv") {
+      opt.csv_path = need_value(i);
+    } else {
+      usage(("unknown option: " + arg).c_str());
+    }
+  }
+  return opt;
+}
+
+void print_timeline(const sys::RunResult& r) {
+  if (r.pim_rate.empty()) return;
+  Table t{"Timeline: " + r.workload + " / " + r.scenario};
+  t.header({"t (ms)", "PIM rate (op/ns)", "Peak DRAM (C)", "Link data (GB/s)"});
+  const std::size_t points = 20;
+  const Time start = r.pim_rate.time_at(0);
+  const Time step = r.exec_time / static_cast<std::int64_t>(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const Time when = start + step * static_cast<std::int64_t>(i);
+    if (when > r.pim_rate.times().back()) break;
+    t.row({Table::num((step * static_cast<std::int64_t>(i)).as_ms(), 2),
+           Table::num(r.pim_rate.sample_at(when), 2),
+           Table::num(r.dram_temp.sample_at(when), 1),
+           Table::num(r.link_bw.sample_at(when), 0)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  // cc/tc need the extended registry.
+  bool extended = false;
+  for (const auto& w : opt.workloads) extended |= (w == "cc" || w == "tc");
+  std::cout << "Building LDBC-like graph (scale " << opt.scale << ", seed " << opt.seed
+            << ") and workload profiles...\n";
+  const sys::WorkloadSet set{opt.scale, opt.seed, extended};
+
+  Table summary{"coolpim_sim results"};
+  summary.header({"Workload", "Scenario", "Exec (ms)", "BW (GB/s)", "PIM rate",
+                  "Peak DRAM (C)", "Warnings", "Energy (mJ)"});
+  std::vector<sys::RunResult> runs;
+  for (const auto& workload : opt.workloads) {
+    for (const auto scenario : opt.scenarios) {
+      sys::SystemConfig cfg;
+      cfg.scenario = scenario;
+      cfg.cooling = opt.cooling;
+      cfg.target_rate_op_per_ns = opt.target;
+      if (opt.control_factor) {
+        cfg.sw_control_factor = *opt.control_factor;
+        cfg.hw_control_factor = *opt.control_factor;
+      }
+      if (opt.pei) cfg.gpu.offload_policy = gpu::OffloadPolicy::kCoherentWriteback;
+
+      sys::System system{cfg};
+      const auto r = system.run(set.profile(workload));
+      summary.row({r.workload, r.scenario, Table::num(r.exec_time.as_ms(), 2),
+                   Table::num(r.avg_link_data_gbps(), 1),
+                   Table::num(r.avg_pim_rate_op_per_ns(), 2),
+                   Table::num(r.peak_dram_temp.value(), 1),
+                   std::to_string(r.thermal_warnings),
+                   Table::num(r.total_energy_j() * 1e3, 1)});
+      runs.push_back(r);
+    }
+  }
+  summary.print(std::cout);
+
+  if (opt.timeline) {
+    for (const auto& r : runs) print_timeline(r);
+  }
+  if (!opt.csv_path.empty()) {
+    std::ofstream out{opt.csv_path};
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.csv_path << " for writing\n";
+      return 1;
+    }
+    sys::write_summary_csv(out, runs);
+    std::cout << "Summary CSV written to " << opt.csv_path << "\n";
+  }
+  return 0;
+}

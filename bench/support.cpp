@@ -1,0 +1,44 @@
+#include "support.hpp"
+
+#include <cstdlib>
+
+namespace coolpim::bench {
+
+unsigned bench_scale() {
+  if (const char* env = std::getenv("COOLPIM_SCALE")) {
+    const int v = std::atoi(env);
+    if (v >= 8 && v <= 24) return static_cast<unsigned>(v);
+  }
+  return 18;
+}
+
+const sys::WorkloadSet& workloads() {
+  static const sys::WorkloadSet set{bench_scale(), 1};
+  return set;
+}
+
+sys::RunResult run_one(const std::string& workload, sys::Scenario scenario,
+                       const sys::SystemConfig& base) {
+  sys::SystemConfig cfg = base;
+  cfg.scenario = scenario;
+  sys::System system{cfg};
+  return system.run(workloads().profile(workload));
+}
+
+const std::vector<ScenarioRow>& scenario_matrix() {
+  static const std::vector<ScenarioRow> matrix = [] {
+    std::vector<ScenarioRow> rows;
+    for (const auto& name : sys::workload_names()) {
+      ScenarioRow row;
+      row.workload = name;
+      for (const auto s : sys::kAllScenarios) {
+        row.runs.emplace(s, run_one(name, s));
+      }
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }();
+  return matrix;
+}
+
+}  // namespace coolpim::bench

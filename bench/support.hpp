@@ -1,0 +1,44 @@
+// Shared infrastructure for the reproduction benches: every bench binary
+// prints its paper table/figure and then runs its google-benchmark micro
+// measurements, so `for b in build/bench/*; do $b; done` regenerates the
+// whole evaluation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sys/system.hpp"
+
+namespace coolpim::bench {
+
+/// Graph scale used by the full-system benches; override with COOLPIM_SCALE.
+[[nodiscard]] unsigned bench_scale();
+
+/// Lazily-built workload set shared within one bench process.
+[[nodiscard]] const sys::WorkloadSet& workloads();
+
+/// Results of one workload across all five scenarios.
+struct ScenarioRow {
+  std::string workload;
+  std::map<sys::Scenario, sys::RunResult> runs;
+
+  [[nodiscard]] const sys::RunResult& at(sys::Scenario s) const { return runs.at(s); }
+  [[nodiscard]] double speedup(sys::Scenario s) const {
+    return at(sys::Scenario::kNonOffloading).exec_time / at(s).exec_time;
+  }
+  [[nodiscard]] double normalized_consumption(sys::Scenario s) const {
+    return at(s).consumption_bytes() /
+           at(sys::Scenario::kNonOffloading).consumption_bytes();
+  }
+};
+
+/// Run every workload under every scenario (the Fig. 10-13 matrix).  Cached
+/// for the lifetime of the process.
+[[nodiscard]] const std::vector<ScenarioRow>& scenario_matrix();
+
+/// Run a single (workload, scenario) pair with an optionally tweaked config.
+[[nodiscard]] sys::RunResult run_one(const std::string& workload, sys::Scenario scenario,
+                                     const sys::SystemConfig& base = {});
+
+}  // namespace coolpim::bench

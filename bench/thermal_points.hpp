@@ -1,0 +1,32 @@
+// Shared operating-point builders for the thermal benches (Figs. 1-5).
+#pragma once
+
+#include "hmc/link_model.hpp"
+#include "power/energy_model.hpp"
+
+namespace coolpim::bench {
+
+/// Pure regular read traffic at a given data bandwidth.
+inline power::OperatingPoint read_traffic(const hmc::LinkModel& link, double data_gbps) {
+  hmc::TransactionMix mix;
+  mix.reads_per_sec = data_gbps * 1e9 / 64.0;
+  power::OperatingPoint op;
+  op.link_raw = link.raw_link_bandwidth(mix);
+  op.dram_internal = link.internal_dram_bandwidth(mix);
+  return op;
+}
+
+/// The Fig. 5 scenario: links fully utilized by PIM ops plus regular reads.
+inline power::OperatingPoint pim_traffic(const hmc::LinkModel& link, double op_per_ns) {
+  hmc::TransactionMix mix;
+  mix.pim_per_sec = op_per_ns * 1e9;
+  mix.reads_per_sec =
+      link.regular_bandwidth_with_pim(mix.pim_per_sec).as_bytes_per_sec() / 64.0;
+  power::OperatingPoint op;
+  op.link_raw = link.raw_link_bandwidth(mix);
+  op.dram_internal = link.internal_dram_bandwidth(mix);
+  op.pim_ops_per_sec = mix.pim_per_sec;
+  return op;
+}
+
+}  // namespace coolpim::bench

@@ -1,0 +1,51 @@
+// Quickstart: simulate a PIM-offloaded graph workload on a GPU + HMC 2.0
+// system and see why thermal-aware source throttling (CoolPIM) matters.
+//
+//   $ ./quickstart [rmat-scale]
+//
+// Builds an LDBC-like social graph, profiles the PageRank GPU kernels, and
+// runs them under four system configurations.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sys/system.hpp"
+
+using namespace coolpim;
+
+int main(int argc, char** argv) {
+  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 17;
+
+  std::cout << "CoolPIM quickstart: PageRank on a 2^" << scale
+            << "-vertex LDBC-like graph, GPU + HMC 2.0, commodity-server cooling\n";
+  const sys::WorkloadSet workloads{scale};
+  const auto& pagerank = workloads.profile("pagerank");
+  std::cout << "Workload: " << pagerank.iterations.size() << " kernel launches, "
+            << pagerank.total_atomics() << " offloadable atomics, PIM intensity "
+            << Table::num(pagerank.pim_intensity(), 3) << ", divergent-warp ratio "
+            << Table::num(pagerank.divergence_ratio(), 2) << "\n";
+
+  Table t{"PageRank under four system configurations"};
+  t.header({"Configuration", "Exec (ms)", "Speedup", "PIM rate (op/ns)", "Peak DRAM (C)",
+            "Thermal warnings"});
+  double baseline_ms = 0.0;
+  for (const auto scenario :
+       {sys::Scenario::kNonOffloading, sys::Scenario::kNaiveOffloading,
+        sys::Scenario::kCoolPimSw, sys::Scenario::kCoolPimHw}) {
+    sys::SystemConfig cfg;
+    cfg.scenario = scenario;
+    sys::System system{cfg};
+    const auto r = system.run(pagerank);
+    if (scenario == sys::Scenario::kNonOffloading) baseline_ms = r.exec_time.as_ms();
+    t.row({r.scenario, Table::num(r.exec_time.as_ms(), 2),
+           Table::num(baseline_ms / r.exec_time.as_ms(), 2),
+           Table::num(r.avg_pim_rate_op_per_ns(), 2), Table::num(r.peak_dram_temp.value(), 1),
+           std::to_string(r.thermal_warnings)});
+  }
+  t.print(std::cout);
+
+  std::cout << "Takeaway: offloading every atomic overheats the cube (derated service,\n"
+               "little or no speedup); CoolPIM throttles the offloading rate at the source\n"
+               "and keeps the DRAM in its normal range -- and ends up faster.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Thermal what-if explorer for 3D-stacked memory designs.
+//
+//   $ ./thermal_explorer [data-GB/s] [pim-op-per-ns]
+//
+// Answers the system designer's questions: how hot does an HMC 2.0 cube run
+// at a given load under each cooling solution, what does the cooling cost in
+// fan power, and what is the largest PIM rate each sink sustains inside the
+// normal DRAM range?
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "hmc/config.hpp"
+#include "hmc/link_model.hpp"
+#include "hmc/thermal_policy.hpp"
+#include "power/cooling.hpp"
+#include "power/energy_model.hpp"
+#include "thermal/hmc_thermal.hpp"
+
+using namespace coolpim;
+
+namespace {
+
+power::OperatingPoint operating_point(const hmc::LinkModel& link, double data_gbps,
+                                      double pim_rate) {
+  hmc::TransactionMix mix;
+  mix.pim_per_sec = pim_rate * 1e9;
+  mix.reads_per_sec = data_gbps * 1e9 / 64.0;
+  power::OperatingPoint op;
+  op.link_raw = link.raw_link_bandwidth(mix);
+  op.dram_internal = link.internal_dram_bandwidth(mix);
+  op.pim_ops_per_sec = mix.pim_per_sec;
+  return op;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double data_gbps = argc > 1 ? std::atof(argv[1]) : 200.0;
+  const double pim_rate = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const hmc::LinkModel link{hmc::hmc20_config()};
+  const power::EnergyParams energy;
+  const hmc::ThermalPolicy policy;
+  const auto op = operating_point(link, data_gbps, pim_rate);
+
+  if (!link.feasible({data_gbps * 1e9 / 64.0, 0.0, pim_rate * 1e9, 0.0})) {
+    std::cout << "Requested load exceeds the link FLIT budget; results show the\n"
+                 "temperature IF the cube could serve it.\n";
+  }
+
+  const auto pb = power::compute_power(energy, op);
+  std::cout << "Operating point: " << Table::num(data_gbps, 0) << " GB/s regular data + "
+            << Table::num(pim_rate, 2) << " PIM op/ns\n"
+            << "Cube power: " << Table::num(pb.total().value(), 1) << " W (logic "
+            << Table::num(pb.logic_total().value(), 1) << " W incl. "
+            << Table::num(pb.fu.value(), 2) << " W of PIM FUs, DRAM "
+            << Table::num(pb.dram_total().value(), 1) << " W), internal DRAM traffic "
+            << Table::num(op.dram_internal.as_gbps(), 0) << " GB/s\n";
+
+  Table t{"Cooling solutions at this operating point"};
+  t.header({"Heat sink", "R (C/W)", "Fan power (W)", "Peak DRAM (C)", "Phase"});
+  for (const auto& sink : power::all_cooling_solutions()) {
+    thermal::HmcThermalConfig cfg = thermal::hmc20_thermal_config(sink.type);
+    thermal::HmcThermalModel model{cfg};
+    model.apply_power(pb);
+    model.solve_steady();
+    const Celsius temp = model.peak_dram();
+    t.row({sink.name, Table::num(sink.resistance.value(), 1),
+           Table::num(sink.fan_power_watts, 2), Table::num(temp.value(), 1),
+           std::string(to_string(policy.phase(temp)))});
+  }
+  t.print(std::cout);
+
+  // Largest sustainable PIM rate per sink (bisection against the 85 C limit).
+  Table budget{"PIM-rate budget within the normal DRAM range (links otherwise full)"};
+  budget.header({"Heat sink", "Max PIM rate (op/ns) below 85 C"});
+  for (const auto& sink : power::all_cooling_solutions()) {
+    double lo = 0.0, hi = 10.0;
+    for (int i = 0; i < 24; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      hmc::TransactionMix mix;
+      mix.pim_per_sec = mid * 1e9;
+      mix.reads_per_sec =
+          link.regular_bandwidth_with_pim(mix.pim_per_sec).as_bytes_per_sec() / 64.0;
+      power::OperatingPoint probe;
+      probe.link_raw = link.raw_link_bandwidth(mix);
+      probe.dram_internal = link.internal_dram_bandwidth(mix);
+      probe.pim_ops_per_sec = mix.pim_per_sec;
+      thermal::HmcThermalModel model{thermal::hmc20_thermal_config(sink.type)};
+      model.apply_power(power::compute_power(energy, probe));
+      model.solve_steady();
+      (model.peak_dram().value() < 85.0 ? lo : hi) = mid;
+    }
+    budget.row({sink.name, lo <= 0.0 ? "none (over 85 C even without PIM)"
+                                     : Table::num(lo, 2)});
+  }
+  budget.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "common/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace coolpim {
+
+namespace {
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace coolpim

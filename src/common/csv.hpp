@@ -1,0 +1,25 @@
+// Minimal CSV writer (RFC-4180 quoting) for exporting experiment results to
+// plotting pipelines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coolpim {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_{os} {}
+
+  /// Write one row; fields containing commas, quotes or newlines are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric cells.
+  static std::string num(double v);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace coolpim

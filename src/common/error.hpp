@@ -1,0 +1,64 @@
+// Error handling for the CoolPIM library.
+//
+// Model/configuration violations throw coolpim::Error (callers can recover or
+// report); internal invariant violations use COOLPIM_ASSERT, which is active
+// in all build types -- a simulator that silently continues past a broken
+// invariant produces plausible-looking garbage, the worst failure mode.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coolpim {
+
+/// Base exception for all user-recoverable library errors (bad configuration,
+/// out-of-range experiment parameters, malformed workloads).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Configuration that cannot describe a buildable system.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// Simulation reached a state the model cannot represent (e.g. event in the
+/// past, negative power).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw SimError(os.str());
+}
+}  // namespace detail
+
+}  // namespace coolpim
+
+/// Always-on invariant check.  Throws SimError (so tests can verify failure
+/// paths) rather than aborting.
+#define COOLPIM_ASSERT(expr)                                                     \
+  do {                                                                           \
+    if (!(expr)) ::coolpim::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define COOLPIM_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                           \
+    if (!(expr)) ::coolpim::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Configuration validation helper: throws ConfigError with the failed
+/// condition when a user-supplied config is unusable.
+#define COOLPIM_REQUIRE(expr, msg)                                               \
+  do {                                                                           \
+    if (!(expr)) throw ::coolpim::ConfigError(std::string(msg) + " (" #expr ")"); \
+  } while (false)

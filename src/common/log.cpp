@@ -1,0 +1,27 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace coolpim {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, const std::string& msg) const {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, msg);
+  } else {
+    std::cerr << "[coolpim " << to_string(level) << "] " << msg << '\n';
+  }
+}
+
+}  // namespace coolpim

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The simulator is library-first: logging goes through an injectable sink so
+// tests can capture it and benches can silence it.  Default sink writes to
+// stderr.  Not thread-safe by design -- the simulation kernel is single
+// threaded; parallel sweeps run one Simulation per thread with its own
+// Logger.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace coolpim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  Logger() = default;
+  explicit Logger(LogLevel threshold) : threshold_{threshold} {}
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  [[nodiscard]] LogLevel threshold() const { return threshold_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= threshold_; }
+
+  void log(LogLevel level, const std::string& msg) const;
+
+  template <typename... Args>
+  void debug(Args&&... args) const { logf(LogLevel::kDebug, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void info(Args&&... args) const { logf(LogLevel::kInfo, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void warn(Args&&... args) const { logf(LogLevel::kWarn, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void error(Args&&... args) const { logf(LogLevel::kError, std::forward<Args>(args)...); }
+
+ private:
+  template <typename... Args>
+  void logf(LogLevel level, Args&&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log(level, os.str());
+  }
+
+  LogLevel threshold_{LogLevel::kWarn};
+  Sink sink_;  // empty -> default stderr sink
+};
+
+}  // namespace coolpim

@@ -1,0 +1,134 @@
+// Lightweight statistics collection.
+//
+// Components expose named counters and distributions through a StatSet so
+// that experiment harnesses can dump everything a run produced without each
+// bench knowing component internals.  No global registry: each component owns
+// its StatSet and parents aggregate explicitly (Core Guidelines I.2 -- avoid
+// non-const global variables).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace coolpim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Streaming summary of a sampled quantity: count / mean / min / max /
+/// variance via Welford's algorithm (numerically stable for long runs).
+class Summary {
+ public:
+  void record(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    last_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double last() const { return last_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+  double last_{0.0};
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets) : lo_{lo}, hi_{hi}, counts_(buckets, 0) {
+    COOLPIM_REQUIRE(hi > lo, "histogram range must be non-empty");
+    COOLPIM_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+  }
+
+  void record(double x) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+
+  /// Linear-interpolated percentile (q in [0,1]).
+  [[nodiscard]] double percentile(double q) const {
+    COOLPIM_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += static_cast<double>(counts_[i]);
+      if (cum >= target) return bucket_lo(i);
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+/// Named bag of counters/summaries; the dump format is consumed by benches.
+class StatSet {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Summary& summary(const std::string& name) { return summaries_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Summary>& summaries() const { return summaries_; }
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  void reset() {
+    for (auto& [_, c] : counters_) c.reset();
+    for (auto& [_, s] : summaries_) s.reset();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace coolpim

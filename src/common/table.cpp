@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coolpim {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  COOLPIM_REQUIRE(header_.empty() || cells.size() == header_.size(),
+                  "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  // Column widths from header and all rows.
+  const std::size_t ncols = header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                                            : header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols && c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < ncols && c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::size_t total = 1;
+  for (const auto w : width) total += w + 3;
+  const std::string rule(std::max<std::size_t>(total, title_.size()), '-');
+
+  os << '\n' << title_ << '\n' << rule << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << s << " |";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os << rule << '\n';
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || width <= 0) return {};
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int n = static_cast<int>(std::lround(frac * width));
+  std::string bar(static_cast<std::size_t>(n), '#');
+  bar.append(static_cast<std::size_t>(width - n), ' ');
+  return bar;
+}
+
+}  // namespace coolpim

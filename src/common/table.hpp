@@ -1,0 +1,36 @@
+// Console table rendering shared by every bench binary, so reproduced paper
+// tables/figures print with one consistent format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coolpim {
+
+/// Column-aligned text table with a title, header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_{std::move(title)} {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render an ASCII sparkline-style bar chart row: value scaled to width.
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+}  // namespace coolpim

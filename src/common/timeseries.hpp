@@ -1,0 +1,71 @@
+// Time-series recording for transient experiments (Fig. 14-style plots).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace coolpim {
+
+/// A named sequence of (time, value) samples.  Samples must arrive in
+/// non-decreasing time order, which every epoch-driven producer satisfies.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_{std::move(name)} {}
+
+  void record(Time t, double value) {
+    COOLPIM_ASSERT_MSG(times_.empty() || t >= times_.back(),
+                       "time series samples must be ordered");
+    times_.push_back(t);
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] Time time_at(std::size_t i) const { return times_.at(i); }
+  [[nodiscard]] double value_at(std::size_t i) const { return values_.at(i); }
+  [[nodiscard]] const std::vector<Time>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Value at time t by zero-order hold (last sample at or before t).
+  [[nodiscard]] double sample_at(Time t) const {
+    COOLPIM_ASSERT(!times_.empty());
+    if (t < times_.front()) return values_.front();
+    // Binary search for the last index with times_[i] <= t.
+    std::size_t lo = 0, hi = times_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi + 1) / 2;
+      if (times_[mid] <= t) lo = mid; else hi = mid - 1;
+    }
+    return values_[lo];
+  }
+
+  /// Time-weighted mean over the recorded span (zero-order hold).
+  [[nodiscard]] double time_weighted_mean() const {
+    if (times_.size() < 2) return values_.empty() ? 0.0 : values_.front();
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+      acc += values_[i] * (times_[i + 1] - times_[i]).as_sec();
+    }
+    const double span = (times_.back() - times_.front()).as_sec();
+    return span > 0.0 ? acc / span : values_.back();
+  }
+
+  /// Resample onto a fixed grid (for printing aligned columns).
+  [[nodiscard]] std::vector<double> resample(Time start, Time step, std::size_t n) const {
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_at(start + step * static_cast<std::int64_t>(i)));
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Time> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace coolpim

@@ -1,0 +1,63 @@
+// Alternative policy for comparison: blanket bandwidth throttling.
+//
+// Instead of selectively reducing PIM offloads (CoolPIM), this controller
+// slows *all* GPU memory traffic on a thermal warning -- the obvious
+// baseline a designer might try first (equivalent to host-side rate limiting
+// or memory-clock DVFS on the GPU side).  It cools the cube just as well but
+// gives up throughput on regular requests too, which is exactly the
+// trade-off the paper's source-side approach avoids: the heat comes
+// disproportionately from PIM's internal read-modify-write traffic, so
+// trimming PIM first buys more cooling per lost byte.
+#pragma once
+
+#include "common/units.hpp"
+#include "core/controller.hpp"
+
+namespace coolpim::core {
+
+struct BwThrottleConfig {
+  /// Multiplicative reduction of the admitted demand per accepted warning.
+  double reduction_step{0.10};
+  /// Smallest admitted fraction (never stall completely).
+  double floor{0.20};
+  Time settle_window{Time::ms(2.5)};
+  Time throttle_delay{Time::us(1.0)};
+};
+
+/// Offloads everything (like naive) but clamps the total demand the GPU
+/// issues when warnings arrive.  The engine consumes `admit_fraction()`.
+class BwThrottleController final : public ThrottleController {
+ public:
+  explicit BwThrottleController(const BwThrottleConfig& cfg = {}) : cfg_{cfg} {}
+
+  void on_thermal_warning(Time now) override {
+    ++warnings_;
+    if (accepted_once_ && now - last_accepted_ < cfg_.settle_window) return;
+    admit_ = std::max(cfg_.floor, admit_ * (1.0 - cfg_.reduction_step));
+    last_accepted_ = now;
+    accepted_once_ = true;
+    ++reductions_;
+  }
+
+  bool acquire_block(Time) override { return true; }
+  void release_block(Time) override {}
+  [[nodiscard]] double pim_warp_fraction(Time) const override { return 1.0; }
+  [[nodiscard]] std::string_view name() const override { return "BW-Throttle"; }
+  [[nodiscard]] Time throttle_delay() const override { return cfg_.throttle_delay; }
+  [[nodiscard]] std::uint64_t adjustments() const override { return reductions_; }
+
+  [[nodiscard]] double demand_scale(Time) const override { return admit_; }
+
+  /// Fraction of total GPU demand currently admitted, consumed by the engine.
+  [[nodiscard]] double admit_fraction() const { return admit_; }
+
+ private:
+  BwThrottleConfig cfg_;
+  double admit_{1.0};
+  Time last_accepted_{Time::ps(-1)};
+  bool accepted_once_{false};
+  std::uint64_t warnings_{0};
+  std::uint64_t reductions_{0};
+};
+
+}  // namespace coolpim::core

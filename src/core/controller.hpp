@@ -1,0 +1,79 @@
+// Source-throttling controller interface (paper Fig. 6 feedback loop).
+//
+// The GPU runtime / hardware consults the controller at two points:
+//   * block launch -- may this CUDA block run the PIM-enabled kernel?
+//     (SW-DynT's token-pool granularity)
+//   * warp issue -- what fraction of warps may emit PIM instructions?
+//     (HW-DynT's PCU granularity)
+// and feeds it thermal-warning messages extracted from HMC response packets.
+// Warnings propagate with a mechanism-specific source-throttling delay
+// T_throttle, and the HMC temperature itself responds with T_thermal ~ 1 ms
+// (paper Fig. 8); the system model applies those delays.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace coolpim::core {
+
+class ThrottleController {
+ public:
+  virtual ~ThrottleController() = default;
+
+  /// Thermal warning received by the host at `now` (already includes the
+  /// thermal sensing delay).  Implementations apply their own T_throttle.
+  virtual void on_thermal_warning(Time now) = 0;
+
+  /// Block launch: may the block run the PIM-enabled kernel?  The runtime
+  /// must later call release_block() for every true return.
+  [[nodiscard]] virtual bool acquire_block(Time now) = 0;
+  virtual void release_block(Time now) = 0;
+
+  /// Fraction of warps allowed to emit PIM instructions inside PIM-enabled
+  /// blocks (HW-DynT's warp-granular control; 1.0 when unused).
+  [[nodiscard]] virtual double pim_warp_fraction(Time now) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Source-throttling reaction delay of this mechanism.
+  [[nodiscard]] virtual Time throttle_delay() const = 0;
+
+  /// Number of throttling adjustments applied so far (0 for static
+  /// controllers); used to detect feedback-loop convergence.
+  [[nodiscard]] virtual std::uint64_t adjustments() const { return 0; }
+
+  /// Fraction of the GPU's *total* demand admitted (blanket bandwidth
+  /// throttling; 1.0 for source-selective mechanisms).
+  [[nodiscard]] virtual double demand_scale(Time) const { return 1.0; }
+};
+
+/// Offloads everything, ignores warnings: the paper's naive-offloading
+/// configuration (PEI-style, no source control).
+class NaiveController final : public ThrottleController {
+ public:
+  void on_thermal_warning(Time) override { ++warnings_; }
+  bool acquire_block(Time) override { return true; }
+  void release_block(Time) override {}
+  [[nodiscard]] double pim_warp_fraction(Time) const override { return 1.0; }
+  [[nodiscard]] std::string_view name() const override { return "naive-offloading"; }
+  [[nodiscard]] Time throttle_delay() const override { return Time::zero(); }
+  [[nodiscard]] std::uint64_t warnings_seen() const { return warnings_; }
+
+ private:
+  std::uint64_t warnings_{0};
+};
+
+/// Never offloads: the non-offloading baseline.
+class NonOffloadingController final : public ThrottleController {
+ public:
+  void on_thermal_warning(Time) override {}
+  bool acquire_block(Time) override { return false; }
+  void release_block(Time) override {}
+  [[nodiscard]] double pim_warp_fraction(Time) const override { return 0.0; }
+  [[nodiscard]] std::string_view name() const override { return "non-offloading"; }
+  [[nodiscard]] Time throttle_delay() const override { return Time::zero(); }
+};
+
+}  // namespace coolpim::core

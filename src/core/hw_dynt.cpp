@@ -1,0 +1,27 @@
+#include "core/hw_dynt.hpp"
+
+namespace coolpim::core {
+
+void HwDynT::on_thermal_warning(Time now) {
+  ++warnings_;
+  // Delayed control updates: accept at most one reduction per settle window.
+  if (accepted_once_ && now - last_accepted_ < cfg_.settle_window) return;
+
+  previous_warps_ = enabled_warps_;
+  enabled_warps_ = enabled_warps_ > cfg_.control_factor
+                       ? enabled_warps_ - cfg_.control_factor
+                       : 0;
+  has_pending_ = true;
+  effective_at_ = now + cfg_.throttle_delay;
+  last_accepted_ = now;
+  accepted_once_ = true;
+  ++reductions_;
+}
+
+double HwDynT::pim_warp_fraction(Time now) const {
+  const std::uint32_t current =
+      (has_pending_ && now < effective_at_) ? previous_warps_ : enabled_warps_;
+  return static_cast<double>(current) / static_cast<double>(cfg_.max_warps_per_sm);
+}
+
+}  // namespace coolpim::core

@@ -1,0 +1,79 @@
+#include "core/kernel_ir.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coolpim::core {
+
+std::size_t KernelIr::count(OpKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(ops.begin(), ops.end(), [kind](const Op& op) { return op.kind == kind; }));
+}
+
+KernelIr offload_pass(const KernelIr& kernel) {
+  KernelIr out;
+  out.name = kernel.name;
+  out.ops.reserve(kernel.ops.size());
+  for (const Op& op : kernel.ops) {
+    if (op.kind == OpKind::kCudaAtomic && op.space == MemSpace::kPimRegion) {
+      Op rewritten = op;
+      rewritten.kind = OpKind::kPimAtomic;
+      rewritten.pim = to_pim(op.cuda);
+      out.ops.push_back(rewritten);
+    } else {
+      out.ops.push_back(op);
+    }
+  }
+  return out;
+}
+
+KernelIr shadow_pass(const KernelIr& kernel) {
+  KernelIr out;
+  out.name = kernel.name + "_np";
+  out.ops.reserve(kernel.ops.size());
+  for (const Op& op : kernel.ops) {
+    if (op.kind == OpKind::kPimAtomic) {
+      Op rewritten = op;
+      rewritten.kind = OpKind::kCudaAtomic;
+      rewritten.cuda = to_cuda(op.pim);
+      out.ops.push_back(rewritten);
+    } else {
+      out.ops.push_back(op);
+    }
+  }
+  COOLPIM_ASSERT(out.is_pim_free());
+  return out;
+}
+
+bool equivalent(const KernelIr& a, const KernelIr& b) {
+  if (a.ops.size() != b.ops.size()) return false;
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    const Op& x = a.ops[i];
+    const Op& y = b.ops[i];
+    if (x.space != y.space) return false;
+    auto is_atomic = [](const Op& op) {
+      return op.kind == OpKind::kCudaAtomic || op.kind == OpKind::kPimAtomic;
+    };
+    if (is_atomic(x) != is_atomic(y)) return false;
+    if (!is_atomic(x)) {
+      if (x.kind != y.kind) return false;
+      continue;
+    }
+    // Both atomics: compare the CUDA-level semantics.
+    const CudaAtomic cx = x.kind == OpKind::kPimAtomic ? to_cuda(x.pim) : x.cuda;
+    const CudaAtomic cy = y.kind == OpKind::kPimAtomic ? to_cuda(y.pim) : y.cuda;
+    if (!same_family(cx, cy)) return false;
+  }
+  return true;
+}
+
+std::size_t offloadable_atomics(const KernelIr& kernel) {
+  return static_cast<std::size_t>(
+      std::count_if(kernel.ops.begin(), kernel.ops.end(), [](const Op& op) {
+        return (op.kind == OpKind::kCudaAtomic && op.space == MemSpace::kPimRegion) ||
+               op.kind == OpKind::kPimAtomic;
+      }));
+}
+
+}  // namespace coolpim::core

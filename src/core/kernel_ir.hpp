@@ -1,0 +1,71 @@
+// Kernel IR and the offload/shadow compilation passes (paper Section IV-B).
+//
+// SW-DynT launches each CUDA block with either the PIM-enabled kernel or a
+// pre-generated non-PIM *shadow* kernel.  The compiler produces both from
+// one source: the offload pass rewrites CUDA atomics that target the PIM
+// memory region into PIM instructions, and the shadow pass maps PIM
+// instructions back to atomics.  The paper notes these are simple
+// source-to-source translations at the AST/IR level; this module models the
+// IR level: a kernel is a sequence of operations over abstract operands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/translate.hpp"
+#include "hmc/pim.hpp"
+
+namespace coolpim::core {
+
+/// Memory space an operand lives in.  Only atomics to the PIM region are
+/// offloadable (GraphPIM identifies the region; atomics elsewhere keep the
+/// host path).
+enum class MemSpace : std::uint8_t { kGlobal, kPimRegion, kShared };
+
+enum class OpKind : std::uint8_t {
+  kCompute,      // ALU work, no memory operand
+  kLoad,
+  kStore,
+  kCudaAtomic,   // host atomic RMW
+  kPimAtomic,    // offloaded PIM instruction
+};
+
+/// One IR operation.
+struct Op {
+  OpKind kind{OpKind::kCompute};
+  MemSpace space{MemSpace::kGlobal};
+  CudaAtomic cuda{CudaAtomic::kAtomicAdd};      // valid for kCudaAtomic
+  hmc::PimOpcode pim{hmc::PimOpcode::kSignedAdd8};  // valid for kPimAtomic
+};
+
+/// A compiled kernel: name + operation sequence.
+struct KernelIr {
+  std::string name;
+  std::vector<Op> ops;
+
+  [[nodiscard]] std::size_t count(OpKind kind) const;
+  /// True if no operation is a PIM instruction (safe to run when throttled).
+  [[nodiscard]] bool is_pim_free() const { return count(OpKind::kPimAtomic) == 0; }
+};
+
+/// Offload pass: rewrite CUDA atomics on the PIM region into PIM
+/// instructions; everything else is untouched.  Returns the PIM-enabled
+/// kernel (entry point `<name>` in the paper's naming).
+[[nodiscard]] KernelIr offload_pass(const KernelIr& kernel);
+
+/// Shadow pass: rewrite PIM instructions back into CUDA atomics (entry point
+/// `<name>_np`).  The result is PIM-free.
+[[nodiscard]] KernelIr shadow_pass(const KernelIr& kernel);
+
+/// Semantic equivalence check used by tests and the runtime's debug mode:
+/// two kernels are equivalent when they perform the same per-slot work up to
+/// the PIM <-> CUDA translation (same kinds modulo atomic flavour, same
+/// spaces, same semantic family of each atomic).
+[[nodiscard]] bool equivalent(const KernelIr& a, const KernelIr& b);
+
+/// Count the offloadable atomics of a kernel (static-analysis input to the
+/// Eq. 1 PIM-intensity estimate).
+[[nodiscard]] std::size_t offloadable_atomics(const KernelIr& kernel);
+
+}  // namespace coolpim::core

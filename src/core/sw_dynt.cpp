@@ -1,0 +1,42 @@
+#include "core/sw_dynt.hpp"
+
+namespace coolpim::core {
+
+SwDynT::SwDynT(const SwDynTConfig& cfg)
+    : cfg_{cfg},
+      initial_size_{cfg.use_static_init ? initial_ptp_size(cfg.eq1) : cfg.eq1.max_blocks},
+      pool_{initial_size_} {}
+
+void SwDynT::on_thermal_warning(Time now) {
+  ++warnings_;
+  // Coalesce warnings within the thermal response window.
+  if (updated_once_ && now - last_update_ < cfg_.update_interval) return;
+  // The interrupt handler runs after T_throttle; model by making the shrink
+  // visible only from `now + throttle_delay` (blocks launched before that
+  // still see the old pool).
+  if (has_pending_) return;
+  has_pending_ = true;
+  pending_until_ = now + cfg_.throttle_delay;
+  last_update_ = now;
+  updated_once_ = true;
+}
+
+bool SwDynT::acquire_block(Time now) {
+  if (has_pending_ && now >= pending_until_) {
+    pool_.shrink(cfg_.control_factor);
+    has_pending_ = false;
+  }
+  if (pool_.try_acquire()) return true;
+  ++shadow_launches_;
+  return false;
+}
+
+void SwDynT::release_block(Time now) {
+  if (has_pending_ && now >= pending_until_) {
+    pool_.shrink(cfg_.control_factor);
+    has_pending_ = false;
+  }
+  pool_.release();
+}
+
+}  // namespace coolpim::core

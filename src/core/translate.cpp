@@ -1,0 +1,67 @@
+#include "core/translate.hpp"
+
+#include "common/error.hpp"
+
+namespace coolpim::core {
+
+CudaAtomic to_cuda(hmc::PimOpcode op) {
+  using hmc::PimOpcode;
+  switch (op) {
+    case PimOpcode::kSignedAdd8:
+    case PimOpcode::kSignedAdd16:
+    case PimOpcode::kFpAdd: return CudaAtomic::kAtomicAdd;
+    case PimOpcode::kSwap:
+    case PimOpcode::kBitWrite: return CudaAtomic::kAtomicExch;
+    case PimOpcode::kAnd: return CudaAtomic::kAtomicAnd;
+    case PimOpcode::kOr: return CudaAtomic::kAtomicOr;
+    case PimOpcode::kCasEqual: return CudaAtomic::kAtomicCAS;
+    case PimOpcode::kCasGreater: return CudaAtomic::kAtomicMax;
+    case PimOpcode::kFpMin: return CudaAtomic::kAtomicMin;
+  }
+  throw ConfigError("unknown PIM opcode");
+}
+
+hmc::PimOpcode to_pim(CudaAtomic op) {
+  using hmc::PimOpcode;
+  switch (op) {
+    case CudaAtomic::kAtomicAdd: return PimOpcode::kSignedAdd8;
+    case CudaAtomic::kAtomicExch: return PimOpcode::kSwap;
+    case CudaAtomic::kAtomicAnd: return PimOpcode::kAnd;
+    case CudaAtomic::kAtomicOr: return PimOpcode::kOr;
+    case CudaAtomic::kAtomicCAS: return PimOpcode::kCasEqual;
+    case CudaAtomic::kAtomicMax: return PimOpcode::kCasGreater;
+    case CudaAtomic::kAtomicMin: return PimOpcode::kFpMin;
+  }
+  throw ConfigError("unknown CUDA atomic");
+}
+
+std::string_view to_string(CudaAtomic op) {
+  switch (op) {
+    case CudaAtomic::kAtomicAdd: return "atomicAdd";
+    case CudaAtomic::kAtomicExch: return "atomicExch";
+    case CudaAtomic::kAtomicAnd: return "atomicAnd";
+    case CudaAtomic::kAtomicOr: return "atomicOr";
+    case CudaAtomic::kAtomicCAS: return "atomicCAS";
+    case CudaAtomic::kAtomicMax: return "atomicMax";
+    case CudaAtomic::kAtomicMin: return "atomicMin";
+  }
+  return "?";
+}
+
+bool same_family(CudaAtomic a, CudaAtomic b) {
+  auto family = [](CudaAtomic op) {
+    switch (op) {
+      case CudaAtomic::kAtomicAdd: return 0;
+      case CudaAtomic::kAtomicExch: return 1;
+      case CudaAtomic::kAtomicAnd:
+      case CudaAtomic::kAtomicOr: return 2;
+      case CudaAtomic::kAtomicCAS:
+      case CudaAtomic::kAtomicMax:
+      case CudaAtomic::kAtomicMin: return 3;
+    }
+    return -1;
+  };
+  return family(a) == family(b);
+}
+
+}  // namespace coolpim::core

@@ -1,0 +1,40 @@
+// PIM <-> CUDA atomic instruction translation (paper Table III).
+//
+// Every PIM instruction in HMC 2.0 (and the GraphPIM extensions) has a
+// corresponding CUDA atomic, so code can be translated in both directions:
+// the compiler generates a non-PIM shadow kernel for SW-DynT by mapping PIM
+// instructions back to atomics, and HW-DynT performs the same translation
+// dynamically at decode for PIM-disabled warps.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hmc/pim.hpp"
+
+namespace coolpim::core {
+
+enum class CudaAtomic : std::uint8_t {
+  kAtomicAdd,
+  kAtomicExch,
+  kAtomicAnd,
+  kAtomicOr,
+  kAtomicCAS,
+  kAtomicMax,
+  kAtomicMin,
+};
+
+/// PIM -> CUDA (shadow-kernel generation / dynamic decode translation).
+[[nodiscard]] CudaAtomic to_cuda(hmc::PimOpcode op);
+
+/// CUDA -> PIM (compiler offload pass).  Every CUDA atomic used by the
+/// workloads maps to a PIM instruction.
+[[nodiscard]] hmc::PimOpcode to_pim(CudaAtomic op);
+
+[[nodiscard]] std::string_view to_string(CudaAtomic op);
+
+/// Round-trip property used by tests: to_cuda(to_pim(a)) lands in the same
+/// semantic family for every CUDA atomic.
+[[nodiscard]] bool same_family(CudaAtomic a, CudaAtomic b);
+
+}  // namespace coolpim::core

@@ -1,0 +1,158 @@
+// Breadth-first search variants (GraphBIG GPU kernels, functional model).
+#include <algorithm>
+
+#include "graph/simt.hpp"
+#include "graph/workloads.hpp"
+
+namespace coolpim::graph {
+
+std::uint64_t checksum_bytes(const void* data, std::size_t bytes) {
+  // FNV-1a, 64-bit.
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+// Instruction-cost constants (warp instructions).  The absolute scale only
+// shifts the compute/memory balance; graph kernels stay memory-bound across
+// a wide range, matching the paper's bandwidth-saturated setting.
+constexpr double kInstrPerEdge = 8.0;
+constexpr double kWarpBase = 16.0;
+
+struct BfsTraits {
+  Driver driver;
+  Parallelism parallelism;
+  bool atomic_frontier;  // bfs-ta: frontier bitmap maintained with atomics
+};
+
+// Every GraphBIG GPU BFS variant updates the discovered level with an
+// unconditional atomicMin per traversed edge (the frontier state is shared
+// and racy, so a pre-check cannot be trusted); GraphPIM maps each of those
+// atomics to a PIM instruction.  The variants differ in how work is found
+// (topology scan vs. frontier queue) and mapped (thread vs. warp).
+BfsTraits traits_for(BfsVariant v) {
+  switch (v) {
+    case BfsVariant::kTopologyAtomic:
+      return {Driver::kTopology, Parallelism::kThreadCentric, true};
+    case BfsVariant::kTopologyThreadCentric:
+      return {Driver::kTopology, Parallelism::kThreadCentric, false};
+    case BfsVariant::kTopologyWarpCentric:
+      return {Driver::kTopology, Parallelism::kWarpCentric, false};
+    case BfsVariant::kDataWarpCentric:
+      return {Driver::kData, Parallelism::kWarpCentric, false};
+  }
+  throw ConfigError("unknown BFS variant");
+}
+
+const char* name_for(BfsVariant v) {
+  switch (v) {
+    case BfsVariant::kTopologyAtomic: return "bfs-ta";
+    case BfsVariant::kTopologyThreadCentric: return "bfs-ttc";
+    case BfsVariant::kTopologyWarpCentric: return "bfs-twc";
+    case BfsVariant::kDataWarpCentric: return "bfs-dwc";
+  }
+  return "bfs-?";
+}
+
+}  // namespace
+
+WorkloadProfile run_bfs(const CsrGraph& g, VertexId source, BfsVariant variant) {
+  COOLPIM_REQUIRE(source < g.num_vertices(), "BFS source out of range");
+  const auto t = traits_for(variant);
+  const VertexId n = g.num_vertices();
+
+  WorkloadProfile profile;
+  profile.name = name_for(variant);
+  profile.driver = t.driver;
+  profile.parallelism = t.parallelism;
+  profile.atomic_kind = hmc::PimOpcode::kCasGreater;  // atomicMin on the level
+  profile.graph_vertices = n;
+  profile.graph_edges = g.num_edges();
+
+  std::vector<std::uint32_t> level(n, kUnreached);
+  level[source] = 0;
+  std::vector<VertexId> frontier{source};
+
+  std::uint32_t depth = 0;
+  std::vector<std::uint32_t> work;  // per-lane trip counts for SIMT costing
+  while (!frontier.empty()) {
+    IterationProfile it{};
+    std::vector<VertexId> next;
+
+    // Determine the scan set and per-lane work.
+    if (t.driver == Driver::kTopology) {
+      it.scanned_vertices = n;
+      work.assign(n, 0);
+      for (const VertexId v : frontier) work[v] = g.out_degree(v);
+      // Topology scan streams row_ptr and the level array.
+      it.struct_scan_bytes += static_cast<std::uint64_t>(n) * (8 + 4);
+    } else {
+      it.scanned_vertices = frontier.size();
+      work.resize(frontier.size());
+      for (std::size_t i = 0; i < frontier.size(); ++i) work[i] = g.out_degree(frontier[i]);
+      // Frontier queue read + random row_ptr pair per frontier vertex.
+      it.struct_scan_bytes += frontier.size() * 4;
+      it.property_reads += 2 * frontier.size();
+    }
+    it.active_vertices = frontier.size();
+
+    // Edge processing.
+    for (const VertexId v : frontier) {
+      for (const VertexId dst : g.neighbors(v)) {
+        ++it.edges_processed;
+        // Reading the destination's vertex-property record is part of the
+        // traversal, followed by the unconditional update atomic.
+        ++it.property_reads;
+        ++it.atomic_ops;  // atomicMin(level[dst], depth+1)
+        if (level[dst] == kUnreached) {
+          level[dst] = depth + 1;
+          next.push_back(dst);
+        }
+      }
+    }
+    // col_idx traffic: warp-centric kernels read 32 consecutive edges per
+    // load (fully coalesced, 4 B/edge); thread-centric lanes each walk their
+    // own edge list, so a 64-byte line is only partially consumed before
+    // eviction (~16 effective bytes per 4-byte element).
+    it.struct_scan_bytes += it.edges_processed *
+        (t.parallelism == Parallelism::kWarpCentric ? 4 : 24);
+
+    if (t.driver == Driver::kData) {
+      // Enqueue discovered vertices: atomicAdd on the queue tail + store.
+      it.atomic_ops += next.size();
+      it.property_writes += next.size();
+    } else if (t.atomic_frontier) {
+      // bfs-ta maintains the next-frontier bitmap with atomic bit writes and
+      // scans it alongside the level array every iteration.
+      it.atomic_ops += next.size();
+      it.struct_scan_bytes += n / 8;
+    }
+
+    // SIMT execution cost.
+    const SimtCost cost = t.parallelism == Parallelism::kThreadCentric
+                              ? thread_centric_cost(work, kInstrPerEdge, kWarpBase)
+                              : warp_centric_cost(work, kInstrPerEdge, kWarpBase);
+    it.compute_warp_instructions = cost.warp_instructions;
+    it.divergent_warp_ratio = t.parallelism == Parallelism::kWarpCentric
+                                  ? 0.02  // residual tail divergence only
+                                  : cost.divergent_ratio();
+    it.work_threads = t.parallelism == Parallelism::kThreadCentric
+                          ? it.scanned_vertices
+                          : it.scanned_vertices * kWarpSize;
+
+    profile.iterations.push_back(it);
+    frontier = std::move(next);
+    ++depth;
+  }
+
+  profile.result_checksum = checksum_vector(level);
+  return profile;
+}
+
+}  // namespace coolpim::graph

@@ -1,0 +1,41 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace coolpim::graph {
+
+CsrGraph CsrGraph::from_edges(VertexId num_vertices,
+                              std::vector<std::pair<VertexId, VertexId>> edges,
+                              std::vector<std::uint32_t> weights) {
+  COOLPIM_REQUIRE(weights.empty() || weights.size() == edges.size(),
+                  "weights must match edge count");
+  CsrGraph g;
+  g.n_ = num_vertices;
+  g.row_ptr_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+  for (const auto& [src, dst] : edges) {
+    COOLPIM_REQUIRE(src < num_vertices && dst < num_vertices, "edge endpoint out of range");
+    ++g.row_ptr_[src + 1];
+  }
+  std::partial_sum(g.row_ptr_.begin(), g.row_ptr_.end(), g.row_ptr_.begin());
+
+  g.col_idx_.resize(edges.size());
+  if (!weights.empty()) g.weights_.resize(edges.size());
+  std::vector<EdgeId> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [src, dst] = edges[i];
+    const EdgeId pos = cursor[src]++;
+    g.col_idx_[pos] = dst;
+    if (!weights.empty()) g.weights_[pos] = weights[i];
+  }
+  return g;
+}
+
+std::uint32_t CsrGraph::max_degree() const {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < n_; ++v) best = std::max(best, out_degree(v));
+  return best;
+}
+
+}  // namespace coolpim::graph

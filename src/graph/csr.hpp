@@ -1,0 +1,68 @@
+// Compressed sparse row graph, the storage format all workloads run on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace coolpim::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// Directed graph in CSR form, with optional 32-bit edge weights.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from an edge list.  Self-loops are kept; duplicate edges are kept
+  /// (graph generators may produce multi-edges, as real datasets do).
+  static CsrGraph from_edges(VertexId num_vertices,
+                             std::vector<std::pair<VertexId, VertexId>> edges,
+                             std::vector<std::uint32_t> weights = {});
+
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
+  [[nodiscard]] EdgeId num_edges() const { return static_cast<EdgeId>(col_idx_.size()); }
+  [[nodiscard]] bool has_weights() const { return !weights_.empty(); }
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const {
+    COOLPIM_ASSERT(v < n_);
+    return static_cast<std::uint32_t>(row_ptr_[v + 1] - row_ptr_[v]);
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    COOLPIM_ASSERT(v < n_);
+    return {col_idx_.data() + row_ptr_[v], col_idx_.data() + row_ptr_[v + 1]};
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> edge_weights(VertexId v) const {
+    COOLPIM_ASSERT(v < n_ && has_weights());
+    return {weights_.data() + row_ptr_[v], weights_.data() + row_ptr_[v + 1]};
+  }
+
+  [[nodiscard]] const std::vector<EdgeId>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<VertexId>& col_idx() const { return col_idx_; }
+
+  /// Maximum out-degree (used by divergence estimation and Eq. 1 inputs).
+  [[nodiscard]] std::uint32_t max_degree() const;
+  [[nodiscard]] double mean_degree() const {
+    return n_ ? static_cast<double>(num_edges()) / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Byte footprint of the CSR arrays (what streams from memory on scans).
+  [[nodiscard]] std::uint64_t structure_bytes() const {
+    return row_ptr_.size() * sizeof(EdgeId) + col_idx_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  VertexId n_{0};
+  std::vector<EdgeId> row_ptr_;
+  std::vector<VertexId> col_idx_;
+  std::vector<std::uint32_t> weights_;
+};
+
+}  // namespace coolpim::graph

@@ -1,0 +1,36 @@
+// Reference algorithm implementations, used only by tests to cross-validate
+// the instrumented workloads (different algorithmic strategy, same answer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace coolpim::graph::reference {
+
+/// BFS levels via a plain FIFO queue.
+[[nodiscard]] std::vector<std::uint32_t> bfs_levels(const CsrGraph& g, VertexId source);
+
+/// Shortest-path distances via Dijkstra (binary heap).
+[[nodiscard]] std::vector<std::uint32_t> sssp_distances(const CsrGraph& g, VertexId source);
+
+/// In-degree of every vertex.
+[[nodiscard]] std::vector<std::uint32_t> in_degrees(const CsrGraph& g);
+
+/// k-core removal flags via bucket peeling on undirected-ized degree.
+[[nodiscard]] std::vector<std::uint8_t> kcore_removed(const CsrGraph& g, unsigned k);
+
+/// Power-iteration PageRank (pull style -- different accumulation order).
+[[nodiscard]] std::vector<double> pagerank_scores(const CsrGraph& g, unsigned iterations,
+                                                  double damping = 0.85);
+
+/// Connected-component labels via union-find over the undirected-ized edges
+/// (min vertex id per component).
+[[nodiscard]] std::vector<VertexId> component_labels(const CsrGraph& g);
+
+/// Triangle count over the de-duplicated undirected-ized adjacency (counts
+/// ordered wedges closed by an edge, same convention as run_triangle_count).
+[[nodiscard]] std::uint64_t triangle_count(const CsrGraph& g);
+
+}  // namespace coolpim::graph::reference

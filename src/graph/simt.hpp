@@ -1,0 +1,79 @@
+// SIMT cost accounting shared by the workload implementations.
+//
+// Thread-centric kernels map one vertex to one thread: a warp of 32
+// consecutive vertices executes in lock-step, so its edge loop runs for the
+// *maximum* trip count in the warp and the warp diverges when lanes have
+// unequal work (the paper's Ratio_DivergentWarp in Eq. 1).  Warp-centric
+// kernels give a whole warp to one vertex and stride its edge list 32-wide,
+// which keeps control flow uniform (low divergence) at the cost of extra
+// per-vertex instructions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+namespace coolpim::graph {
+
+inline constexpr std::uint32_t kWarpSize = 32;
+
+struct SimtCost {
+  std::uint64_t warp_instructions{0};
+  std::uint64_t warps{0};
+  /// Sum over active warps of (1 - mean_work/max_work): the fraction of
+  /// lock-step loop trips in which lanes sit idle.  divergent_ratio() is the
+  /// average -- a continuous version of the paper's Ratio_DivergentWarp that
+  /// does not saturate at 1 the moment any two lanes differ.
+  double divergence_accum{0.0};
+  std::uint64_t active_warps{0};
+
+  [[nodiscard]] double divergent_ratio() const {
+    return active_warps ? divergence_accum / static_cast<double>(active_warps) : 0.0;
+  }
+};
+
+/// Thread-centric cost over a per-lane work vector (work[i] = loop trips of
+/// lane i, 0 for inactive lanes).  `instr_per_item` models the loop body and
+/// `base_instr` the per-warp prologue.
+inline SimtCost thread_centric_cost(std::span<const std::uint32_t> work, double instr_per_item,
+                                    double base_instr) {
+  SimtCost cost;
+  for (std::size_t i = 0; i < work.size(); i += kWarpSize) {
+    const std::size_t end = std::min(work.size(), i + kWarpSize);
+    std::uint32_t max_w = 0;
+    std::uint64_t sum_w = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      max_w = std::max(max_w, work[j]);
+      sum_w += work[j];
+    }
+    ++cost.warps;
+    cost.warp_instructions += static_cast<std::uint64_t>(
+        base_instr + instr_per_item * static_cast<double>(max_w));
+    if (max_w > 0) {
+      ++cost.active_warps;
+      const double mean = static_cast<double>(sum_w) /
+                          static_cast<double>(std::min<std::size_t>(kWarpSize, end - i));
+      cost.divergence_accum += 1.0 - mean / static_cast<double>(max_w);
+    }
+  }
+  return cost;
+}
+
+/// Warp-centric cost: one warp per work item, edge list strided 32-wide.
+/// Control flow is uniform across the warp; only the tail chunk predicates
+/// lanes off, which we do not count as divergence (matching the low ratio
+/// the paper attributes to warp-centric kernels).
+inline SimtCost warp_centric_cost(std::span<const std::uint32_t> work, double instr_per_item,
+                                  double base_instr) {
+  SimtCost cost;
+  for (const auto w : work) {
+    // ceil(w / 32) strided loop iterations, at least one pass for the check.
+    const std::uint64_t chunks = std::max<std::uint64_t>(1, (w + kWarpSize - 1) / kWarpSize);
+    ++cost.warps;
+    cost.warp_instructions += static_cast<std::uint64_t>(
+        base_instr + instr_per_item * static_cast<double>(chunks));
+  }
+  return cost;
+}
+
+}  // namespace coolpim::graph

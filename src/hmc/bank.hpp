@@ -1,0 +1,109 @@
+// DRAM bank timing (closed-page policy).
+//
+// Each access activates a row (tRCD), transfers the column (tCL) and
+// precharges; the bank is reusable after tRAS + tRP.  A PIM operation is an
+// atomic read-modify-write: the bank stays locked through the read, the
+// functional-unit operation and the write-back, so no other request to the
+// same bank can be serviced meanwhile (HMC 2.0 spec behaviour).
+//
+// Thermal derating scales all timing by 1/scale (reduced DRAM frequency in
+// the extended/critical phases).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "hmc/config.hpp"
+
+namespace coolpim::hmc {
+
+enum class AccessKind { kRead, kWrite, kPimRmw };
+
+/// Row-buffer management policy.  HMC vault controllers traditionally run
+/// closed-page (random traffic dominates); the open-page option keeps the row
+/// latched and pays the precharge only on a conflict -- the ablation bench
+/// quantifies the difference per traffic pattern.
+enum class PagePolicy : std::uint8_t { kClosedPage, kOpenPage };
+
+/// Outcome of scheduling one access on a bank.
+struct BankService {
+  Time start;       // when the bank began the access
+  Time complete;    // when data is available / write committed / RMW done
+  Time bank_free;   // when the bank can accept the next access
+};
+
+class Bank {
+ public:
+  explicit Bank(DramTiming timing, Time fu_latency = Time::ns(2.0),
+                PagePolicy policy = PagePolicy::kClosedPage)
+      : timing_{timing}, fu_latency_{fu_latency}, policy_{policy} {}
+
+  /// Schedule an access arriving at `arrival` to DRAM row `row`; `scale` is
+  /// the thermal service-rate multiplier (1.0 nominal, <1 derated).
+  BankService schedule(Time arrival, AccessKind kind, double scale = 1.0,
+                       std::uint64_t row = 0) {
+    COOLPIM_REQUIRE(scale > 0.0, "bank cannot serve while shut down");
+    const Time start = std::max(arrival, ready_at_);
+    const double stretch = 1.0 / scale;
+
+    // Row activation cost under the page policy.  Closed page always pays the
+    // full ACT and holds the bank for the row cycle (tRAS + tRP); open page
+    // pays nothing on a row hit, precharge + ACT on a conflict, and releases
+    // the bank right after the burst (the row stays latched).
+    Time act = timing_.tRCD * stretch;
+    bool hold_row_cycle = policy_ == PagePolicy::kClosedPage;
+    if (policy_ == PagePolicy::kOpenPage) {
+      if (row_open_ && open_row_ == row) {
+        act = Time::zero();  // row hit
+        ++row_hits_;
+      } else if (row_open_) {
+        act = (timing_.tRP + timing_.tRCD) * stretch;  // conflict: precharge first
+        ++row_conflicts_;
+      }
+      row_open_ = true;
+      open_row_ = row;
+    }
+
+    Time latency;   // request completion relative to start
+    Time occupancy; // bank busy window relative to start
+    switch (kind) {
+      case AccessKind::kRead:
+      case AccessKind::kWrite:
+        latency = act + timing_.tCL * stretch;
+        occupancy = hold_row_cycle ? timing_.bank_cycle() * stretch : latency;
+        break;
+      case AccessKind::kPimRmw:
+        // Read out (ACT+CAS), operate (FU), write back (CAS), precharge.
+        latency = act + timing_.tCL * stretch + fu_latency_ + timing_.tCL * stretch;
+        occupancy = latency + (hold_row_cycle ? timing_.tRP * stretch : Time::zero());
+        break;
+    }
+
+    ready_at_ = start + occupancy;
+    ++accesses_;
+    busy_time_ += occupancy;
+    return BankService{start, start + latency, ready_at_};
+  }
+
+  [[nodiscard]] Time ready_at() const { return ready_at_; }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] Time busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t row_hits() const { return row_hits_; }
+  [[nodiscard]] std::uint64_t row_conflicts() const { return row_conflicts_; }
+  [[nodiscard]] PagePolicy policy() const { return policy_; }
+
+ private:
+  DramTiming timing_;
+  Time fu_latency_;
+  PagePolicy policy_;
+  Time ready_at_{Time::zero()};
+  std::uint64_t accesses_{0};
+  Time busy_time_{Time::zero()};
+  bool row_open_{false};
+  std::uint64_t open_row_{0};
+  std::uint64_t row_hits_{0};
+  std::uint64_t row_conflicts_{0};
+};
+
+}  // namespace coolpim::hmc

@@ -1,0 +1,75 @@
+#include "hmc/fu_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace coolpim::hmc {
+
+namespace {
+double as_double(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t as_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+}  // namespace
+
+FuResult fu_execute(PimOpcode op, Operand128 memory, Operand128 imm) {
+  FuResult r;
+  r.old_value = memory;
+  r.new_value = memory;
+  r.atomic_success = true;
+
+  switch (op) {
+    case PimOpcode::kSignedAdd8:
+      r.new_value.lo = memory.lo + imm.lo;  // two's complement wraps
+      break;
+    case PimOpcode::kSignedAdd16:
+      r.new_value.lo = memory.lo + imm.lo;
+      r.new_value.hi = memory.hi + imm.hi;
+      break;
+    case PimOpcode::kSwap:
+      r.new_value = imm;
+      break;
+    case PimOpcode::kBitWrite:
+      // imm.hi selects the bits to write, imm.lo carries the data.
+      r.new_value.lo = (memory.lo & ~imm.hi) | (imm.lo & imm.hi);
+      break;
+    case PimOpcode::kAnd:
+      r.new_value.lo = memory.lo & imm.lo;
+      r.new_value.hi = memory.hi & imm.hi;
+      break;
+    case PimOpcode::kOr:
+      r.new_value.lo = memory.lo | imm.lo;
+      r.new_value.hi = memory.hi | imm.hi;
+      break;
+    case PimOpcode::kCasEqual:
+      if (memory.lo == imm.hi) {
+        r.new_value.lo = imm.lo;
+      } else {
+        r.atomic_success = false;
+      }
+      break;
+    case PimOpcode::kCasGreater:
+      if (static_cast<std::int64_t>(imm.lo) > static_cast<std::int64_t>(memory.lo)) {
+        r.new_value.lo = imm.lo;
+      } else {
+        r.atomic_success = false;
+      }
+      break;
+    case PimOpcode::kFpAdd:
+      r.new_value.lo = as_bits(as_double(memory.lo) + as_double(imm.lo));
+      break;
+    case PimOpcode::kFpMin:
+      r.new_value.lo = as_bits(std::min(as_double(memory.lo), as_double(imm.lo)));
+      break;
+  }
+  return r;
+}
+
+std::int64_t fu_add64(std::int64_t memory, std::int64_t imm) {
+  Operand128 m{static_cast<std::uint64_t>(memory), 0};
+  Operand128 i{static_cast<std::uint64_t>(imm), 0};
+  return static_cast<std::int64_t>(fu_execute(PimOpcode::kSignedAdd8, m, i).new_value.lo);
+}
+
+}  // namespace coolpim::hmc

@@ -1,0 +1,52 @@
+// Functional model of the vault PIM functional unit.
+//
+// HMC 2.0 atomics operate on a 16-byte (128-bit) memory operand and an
+// immediate: the FU reads the operand, computes, writes back, and reports an
+// atomic flag (plus the original data for the returning ops).  This model
+// implements the operation semantics exactly, so tests can verify that
+// offloaded kernels and their CUDA shadow versions compute identical results
+// through either path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hmc/pim.hpp"
+
+namespace coolpim::hmc {
+
+/// 128-bit operand as two 64-bit lanes (little-endian lane order).
+struct Operand128 {
+  std::uint64_t lo{0};
+  std::uint64_t hi{0};
+
+  friend constexpr bool operator==(const Operand128&, const Operand128&) = default;
+};
+
+/// Result of one FU operation.
+struct FuResult {
+  Operand128 new_value;   // written back to DRAM
+  Operand128 old_value;   // returned for the with-return ops
+  bool atomic_success{true};
+};
+
+/// Execute `op` on `memory` with immediate `imm`.
+///
+/// Semantics (HMC 2.0 spec + GraphPIM extensions):
+///  * kSignedAdd8   : low 8 bytes += low 8 bytes of imm (two's complement)
+///  * kSignedAdd16  : dual add: lo += imm.lo, hi += imm.hi
+///  * kSwap         : memory = imm
+///  * kBitWrite     : memory = (memory & ~imm.hi) | (imm.lo & imm.hi)
+///                    (imm.hi is the write mask, imm.lo the data)
+///  * kAnd / kOr    : bitwise on both lanes
+///  * kCasEqual     : if memory == imm.hi-compare? -- spec: compare low 8B
+///                    against imm.hi, swap in imm.lo on equality
+///  * kCasGreater   : swap in imm.lo when imm.lo > memory.lo (signed)
+///  * kFpAdd        : lo lane as IEEE double += imm.lo as double
+///  * kFpMin        : lo lane = min(lo, imm.lo) as doubles
+[[nodiscard]] FuResult fu_execute(PimOpcode op, Operand128 memory, Operand128 imm);
+
+/// Convenience for the common 8-byte integer ops.
+[[nodiscard]] std::int64_t fu_add64(std::int64_t memory, std::int64_t imm);
+
+}  // namespace coolpim::hmc

@@ -1,0 +1,66 @@
+#include "hmc/link_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coolpim::hmc {
+
+namespace {
+constexpr double flits_per_read = flit_cost(TransactionType::kRead64).total();        // 6
+constexpr double flits_per_write = flit_cost(TransactionType::kWrite64).total();      // 6
+constexpr double flits_per_pim = flit_cost(TransactionType::kPimNoReturn).total();    // 3
+constexpr double flits_per_pim_ret = flit_cost(TransactionType::kPimWithReturn).total();  // 4
+}  // namespace
+
+double LinkModel::flit_demand(const TransactionMix& mix) const {
+  COOLPIM_ASSERT(mix.reads_per_sec >= 0 && mix.writes_per_sec >= 0 && mix.pim_per_sec >= 0);
+  COOLPIM_ASSERT(mix.pim_return_fraction >= 0.0 && mix.pim_return_fraction <= 1.0);
+  const double pim_flits = mix.pim_per_sec * ((1.0 - mix.pim_return_fraction) * flits_per_pim +
+                                              mix.pim_return_fraction * flits_per_pim_ret);
+  return mix.reads_per_sec * flits_per_read + mix.writes_per_sec * flits_per_write + pim_flits;
+}
+
+double LinkModel::admission_scale(const TransactionMix& mix) const {
+  const double demand = flit_demand(mix);
+  if (demand <= 0.0) return 1.0;
+  return std::min(1.0, flits_per_sec() / demand);
+}
+
+Bandwidth LinkModel::data_bandwidth(const TransactionMix& mix) const {
+  const double bytes =
+      mix.reads_per_sec * static_cast<double>(payload_bytes(TransactionType::kRead64)) +
+      mix.writes_per_sec * static_cast<double>(payload_bytes(TransactionType::kWrite64)) +
+      mix.pim_per_sec * mix.pim_return_fraction *
+          static_cast<double>(payload_bytes(TransactionType::kPimWithReturn));
+  return Bandwidth::bytes_per_sec(bytes);
+}
+
+Bandwidth LinkModel::max_data_bandwidth() const {
+  // All-read (or all-write) mix: 64 payload bytes per 6 FLITs.
+  const double reads = flits_per_sec() / flits_per_read;
+  return Bandwidth::bytes_per_sec(reads * 64.0);
+}
+
+Bandwidth LinkModel::regular_bandwidth_with_pim(double pim_ops_per_sec,
+                                                double pim_return_fraction,
+                                                double read_fraction) const {
+  COOLPIM_REQUIRE(read_fraction >= 0.0 && read_fraction <= 1.0,
+                  "read fraction must be in [0,1]");
+  const double pim_flits =
+      pim_ops_per_sec * ((1.0 - pim_return_fraction) * flits_per_pim +
+                         pim_return_fraction * flits_per_pim_ret);
+  const double remaining = std::max(0.0, flits_per_sec() - pim_flits);
+  // Reads and writes cost the same 6 FLITs per 64 bytes.
+  const double flits_per_req = read_fraction * flits_per_read + (1.0 - read_fraction) * flits_per_write;
+  return Bandwidth::bytes_per_sec(remaining / flits_per_req * 64.0);
+}
+
+Bandwidth LinkModel::internal_dram_bandwidth(const TransactionMix& mix) const {
+  const double gran = static_cast<double>(cfg_.access_granularity);
+  const double regular = (mix.reads_per_sec + mix.writes_per_sec) * 64.0;
+  const double pim = mix.pim_per_sec * 2.0 * gran;  // internal read + write
+  return Bandwidth::bytes_per_sec(regular + pim);
+}
+
+}  // namespace coolpim::hmc

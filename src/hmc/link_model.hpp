@@ -1,0 +1,73 @@
+// Off-chip link FLIT accounting.
+//
+// The serial links move 128-bit FLITs; every transaction type has a fixed
+// FLIT cost (Table I).  This model converts between transaction mixes and
+// link/data bandwidth, and computes the internal DRAM traffic a mix induces
+// (each PIM op performs a read + a write at DRAM access granularity inside
+// the cube, so internal bandwidth can exceed the external maximum).
+#pragma once
+
+#include "common/units.hpp"
+#include "hmc/config.hpp"
+#include "hmc/packet.hpp"
+
+namespace coolpim::hmc {
+
+/// A steady transaction mix offered to the links.
+struct TransactionMix {
+  double reads_per_sec{0.0};        // 64-byte reads
+  double writes_per_sec{0.0};       // 64-byte writes
+  double pim_per_sec{0.0};          // PIM operations
+  double pim_return_fraction{0.0};  // fraction of PIM ops that return data
+};
+
+class LinkModel {
+ public:
+  explicit LinkModel(HmcConfig cfg) : cfg_{std::move(cfg)} { cfg_.validate(); }
+
+  [[nodiscard]] const HmcConfig& config() const { return cfg_; }
+
+  /// Aggregate FLIT throughput of all links (FLITs per second).
+  [[nodiscard]] double flits_per_sec() const {
+    return cfg_.link_raw_total().as_bytes_per_sec() / static_cast<double>(kFlitBytes);
+  }
+
+  /// FLITs per second consumed by a mix.
+  [[nodiscard]] double flit_demand(const TransactionMix& mix) const;
+
+  /// True if the links can carry the mix.
+  [[nodiscard]] bool feasible(const TransactionMix& mix) const {
+    return flit_demand(mix) <= flits_per_sec() * (1.0 + 1e-9);
+  }
+
+  /// Scale factor (<= 1) by which a mix must be throttled to fit the links.
+  [[nodiscard]] double admission_scale(const TransactionMix& mix) const;
+
+  /// Payload (data) bandwidth moved by a mix over the links.
+  [[nodiscard]] Bandwidth data_bandwidth(const TransactionMix& mix) const;
+
+  /// Peak data bandwidth with a pure 64-byte read/write mix (no PIM); this is
+  /// the paper's 320 GB/s figure for HMC 2.0.
+  [[nodiscard]] Bandwidth max_data_bandwidth() const;
+
+  /// Largest regular-request data bandwidth that fits next to a given PIM
+  /// rate (reads and writes in `read_fraction` proportion by request count).
+  [[nodiscard]] Bandwidth regular_bandwidth_with_pim(double pim_ops_per_sec,
+                                                     double pim_return_fraction = 0.0,
+                                                     double read_fraction = 1.0) const;
+
+  /// Internal DRAM traffic induced by a mix: every 64-byte read/write is one
+  /// internal access; every PIM op is an internal read + write at access
+  /// granularity.
+  [[nodiscard]] Bandwidth internal_dram_bandwidth(const TransactionMix& mix) const;
+
+  /// Raw link bandwidth consumed (FLITs * 16B), for the power model.
+  [[nodiscard]] Bandwidth raw_link_bandwidth(const TransactionMix& mix) const {
+    return Bandwidth::bytes_per_sec(flit_demand(mix) * static_cast<double>(kFlitBytes));
+  }
+
+ private:
+  HmcConfig cfg_;
+};
+
+}  // namespace coolpim::hmc

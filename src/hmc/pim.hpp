@@ -1,0 +1,89 @@
+// PIM instruction set (HMC 2.0 atomics plus the GraphPIM floating-point
+// extensions).  Every PIM op is an atomic read-modify-write on a single
+// memory operand with an immediate; the bank is locked for the duration.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hmc/packet.hpp"
+
+namespace coolpim::hmc {
+
+enum class PimOpcode : std::uint8_t {
+  // Arithmetic
+  kSignedAdd8,    // 8-byte signed add immediate
+  kSignedAdd16,   // 16-byte dual signed add
+  // Bitwise
+  kSwap,          // swap 16 bytes
+  kBitWrite,      // masked bit write
+  // Boolean
+  kAnd,
+  kOr,
+  // Comparison
+  kCasEqual,      // compare-and-swap if equal
+  kCasGreater,    // compare-and-swap if greater
+  // GraphPIM floating-point extensions [Nai+, HPCA'17]
+  kFpAdd,
+  kFpMin,
+};
+
+enum class PimOpClass : std::uint8_t { kArithmetic, kBitwise, kBoolean, kComparison };
+
+[[nodiscard]] constexpr PimOpClass classify(PimOpcode op) {
+  switch (op) {
+    case PimOpcode::kSignedAdd8:
+    case PimOpcode::kSignedAdd16:
+    case PimOpcode::kFpAdd: return PimOpClass::kArithmetic;
+    case PimOpcode::kSwap:
+    case PimOpcode::kBitWrite: return PimOpClass::kBitwise;
+    case PimOpcode::kAnd:
+    case PimOpcode::kOr: return PimOpClass::kBoolean;
+    case PimOpcode::kCasEqual:
+    case PimOpcode::kCasGreater:
+    case PimOpcode::kFpMin: return PimOpClass::kComparison;
+  }
+  return PimOpClass::kArithmetic;
+}
+
+/// Whether the op's response carries the original data (affects FLIT cost).
+[[nodiscard]] constexpr bool returns_data(PimOpcode op) {
+  switch (op) {
+    case PimOpcode::kSwap:
+    case PimOpcode::kCasEqual:
+    case PimOpcode::kCasGreater: return true;
+    default: return false;
+  }
+}
+
+[[nodiscard]] constexpr TransactionType transaction_for(PimOpcode op) {
+  return returns_data(op) ? TransactionType::kPimWithReturn : TransactionType::kPimNoReturn;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(PimOpcode op) {
+  switch (op) {
+    case PimOpcode::kSignedAdd8: return "signed add (8B)";
+    case PimOpcode::kSignedAdd16: return "signed add (16B)";
+    case PimOpcode::kSwap: return "swap";
+    case PimOpcode::kBitWrite: return "bit write";
+    case PimOpcode::kAnd: return "AND";
+    case PimOpcode::kOr: return "OR";
+    case PimOpcode::kCasEqual: return "CAS-equal";
+    case PimOpcode::kCasGreater: return "CAS-greater";
+    case PimOpcode::kFpAdd: return "FP add (ext)";
+    case PimOpcode::kFpMin: return "FP min (ext)";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(PimOpClass c) {
+  switch (c) {
+    case PimOpClass::kArithmetic: return "Arithmetic";
+    case PimOpClass::kBitwise: return "Bitwise";
+    case PimOpClass::kBoolean: return "Boolean";
+    case PimOpClass::kComparison: return "Comparison";
+  }
+  return "?";
+}
+
+}  // namespace coolpim::hmc

@@ -1,0 +1,80 @@
+// DRAM thermal operating policy.
+//
+// The paper partitions the HMC operating range into three phases (Table IV):
+// 0-85 C (normal), 85-95 C (extended: doubled refresh), 95-105 C (critical),
+// with a 20% DRAM frequency reduction per phase step above normal, and a
+// hard shutdown above 105 C (the HMC 1.1 prototype shuts down even earlier,
+// at ~95 C die temperature, losing all data for tens of seconds).
+// A thermal *warning* (ERRSTAT=0x01) is raised when the DRAM temperature
+// crosses the warning threshold so the host can throttle before the device
+// derates.
+#pragma once
+
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace coolpim::hmc {
+
+enum class ThermalPhase : int {
+  kNormal = 0,    // 0-85 C
+  kExtended = 1,  // 85-95 C, refresh doubled
+  kCritical = 2,  // 95-105 C
+  kShutdown = 3,  // > 105 C
+};
+
+struct ThermalPolicy {
+  Celsius normal_limit{85.0};
+  Celsius extended_limit{95.0};
+  Celsius shutdown_limit{105.0};
+  /// Warning is raised slightly below the normal limit so source throttling
+  /// can react before the device derates.
+  Celsius warning_threshold{84.5};
+  /// Sustained end-to-end service multiplier in each derated phase.  The
+  /// paper applies a 20% DRAM frequency reduction per phase step; in a
+  /// closed-loop GPU system the sustained throughput loss is larger than the
+  /// frequency loss (longer bank occupancy compounds with queueing and the
+  /// doubled refresh), which these calibrated multipliers capture.
+  double extended_service_scale{0.58};
+  double critical_service_scale{0.42};
+  /// Conservative prototype policy: shut down instead of derating (HMC 1.1).
+  bool conservative_shutdown{false};
+  Celsius conservative_shutdown_temp{95.0};
+
+  [[nodiscard]] ThermalPhase phase(Celsius dram_temp) const {
+    if (dram_temp > shutdown_limit) return ThermalPhase::kShutdown;
+    if (conservative_shutdown && dram_temp > conservative_shutdown_temp) {
+      return ThermalPhase::kShutdown;
+    }
+    if (dram_temp > extended_limit) return ThermalPhase::kCritical;
+    if (dram_temp > normal_limit) return ThermalPhase::kExtended;
+    return ThermalPhase::kNormal;
+  }
+
+  [[nodiscard]] bool warning(Celsius dram_temp) const { return dram_temp > warning_threshold; }
+
+  /// Effective sustained service-rate multiplier in a phase; 0 when shut
+  /// down.  Applies to the whole cube: every transaction is ultimately a
+  /// DRAM access, so slowed banks throttle link-side goodput too.
+  [[nodiscard]] double service_scale(ThermalPhase p) const {
+    switch (p) {
+      case ThermalPhase::kNormal: return 1.0;
+      case ThermalPhase::kExtended: return extended_service_scale;
+      case ThermalPhase::kCritical: return critical_service_scale;
+      case ThermalPhase::kShutdown: return 0.0;
+    }
+    return 1.0;
+  }
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ThermalPhase p) {
+  switch (p) {
+    case ThermalPhase::kNormal: return "normal (0-85C)";
+    case ThermalPhase::kExtended: return "extended (85-95C)";
+    case ThermalPhase::kCritical: return "critical (95-105C)";
+    case ThermalPhase::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+}  // namespace coolpim::hmc

@@ -1,0 +1,55 @@
+#include "hmc/throughput_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coolpim::hmc {
+
+EpochService ThroughputModel::serve(const EpochDemand& demand, Time epoch,
+                                    Celsius dram_temp) const {
+  COOLPIM_REQUIRE(epoch > Time::zero(), "epoch must be positive");
+  COOLPIM_ASSERT(demand.reads >= 0 && demand.writes >= 0 && demand.pim_ops >= 0);
+
+  EpochService out{};
+  out.phase = policy_.phase(dram_temp);
+  if (out.phase == ThermalPhase::kShutdown) {
+    out.served_fraction = 0.0;
+    out.shut_down = true;
+    return out;
+  }
+
+  const double secs = epoch.as_sec();
+  TransactionMix mix{demand.reads / secs, demand.writes / secs, demand.pim_ops / secs,
+                     demand.pim_return_fraction};
+
+  const double derate = policy_.service_scale(out.phase);
+
+  // Constraint 1: link FLIT budget.  Every FLIT of payload ultimately waits
+  // on a (possibly derated) DRAM bank, so the sustainable link goodput
+  // scales with the thermal phase as well.
+  const double link_scale = std::min(1.0, link_.admission_scale(mix) * derate);
+
+  // Constraint 2: internal DRAM/TSV bandwidth, same derating.
+  const double internal_demand = link_.internal_dram_bandwidth(mix).as_bytes_per_sec();
+  const double internal_cap =
+      link_.config().internal_peak.as_bytes_per_sec() * derate;
+  const double dram_scale =
+      internal_demand > 0.0 ? std::min(1.0, internal_cap / internal_demand) : 1.0;
+
+  const double scale = std::min(link_scale, dram_scale);
+  out.served_fraction = scale;
+  out.reads = demand.reads * scale;
+  out.writes = demand.writes * scale;
+  out.pim_ops = demand.pim_ops * scale;
+
+  TransactionMix served{mix.reads_per_sec * scale, mix.writes_per_sec * scale,
+                        mix.pim_per_sec * scale, mix.pim_return_fraction};
+  out.link_data = link_.data_bandwidth(served);
+  out.link_raw = link_.raw_link_bandwidth(served);
+  out.dram_internal = link_.internal_dram_bandwidth(served);
+  out.pim_ops_per_sec = served.pim_per_sec;
+  return out;
+}
+
+}  // namespace coolpim::hmc

@@ -1,0 +1,62 @@
+// Analytic epoch-level HMC service model.
+//
+// The full-system simulation advances in epochs (~10 us).  Within one epoch
+// the GPU offers a transaction demand; this model determines how much of it
+// the cube can serve, limited by (a) the off-chip link FLIT budget and
+// (b) the internal DRAM/TSV bandwidth, derated by the current thermal phase.
+// All demand classes are scaled proportionally when over budget (the links
+// and vault controllers are fair across requesters).
+//
+// Integration tests cross-check this model's saturated service rates against
+// the event-detailed hmc::Device.
+#pragma once
+
+#include "common/units.hpp"
+#include "hmc/config.hpp"
+#include "hmc/link_model.hpp"
+#include "hmc/thermal_policy.hpp"
+
+namespace coolpim::hmc {
+
+/// Demand offered during one epoch (transaction counts).
+struct EpochDemand {
+  double reads{0.0};
+  double writes{0.0};
+  double pim_ops{0.0};
+  double pim_return_fraction{0.0};
+};
+
+/// What the device actually served in the epoch.
+struct EpochService {
+  double served_fraction{1.0};   // uniform admission scale applied to demand
+  double reads{0.0};
+  double writes{0.0};
+  double pim_ops{0.0};
+  Bandwidth link_data;           // payload bandwidth achieved
+  Bandwidth link_raw;            // raw FLIT bandwidth achieved
+  Bandwidth dram_internal;       // internal DRAM traffic
+  double pim_ops_per_sec{0.0};
+  ThermalPhase phase{ThermalPhase::kNormal};
+  bool shut_down{false};
+};
+
+class ThroughputModel {
+ public:
+  ThroughputModel(HmcConfig cfg, ThermalPolicy policy = {})
+      : link_{std::move(cfg)}, policy_{policy} {}
+
+  [[nodiscard]] const HmcConfig& config() const { return link_.config(); }
+  [[nodiscard]] const LinkModel& link() const { return link_; }
+  [[nodiscard]] const ThermalPolicy& policy() const { return policy_; }
+
+  /// Resolve one epoch: how much of `demand` is served in `epoch` at DRAM
+  /// temperature `dram_temp`.
+  [[nodiscard]] EpochService serve(const EpochDemand& demand, Time epoch,
+                                   Celsius dram_temp) const;
+
+ private:
+  LinkModel link_;
+  ThermalPolicy policy_;
+};
+
+}  // namespace coolpim::hmc

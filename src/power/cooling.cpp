@@ -1,0 +1,82 @@
+#include "power/cooling.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace coolpim::power {
+
+namespace {
+// High-end fan measured at ~13 W == 380x => 1x (low-end) ~= 34 mW.
+constexpr double kWattsPerRel = 13.0 / 380.0;
+
+const std::array<CoolingSolution, 4> kSolutions{{
+    {CoolingType::kPassive, "passive", ThermalResistance{4.0}, 0.0, 0.0},
+    {CoolingType::kLowEndActive, "low-end active", ThermalResistance{2.0}, 1.0,
+     1.0 * kWattsPerRel},
+    {CoolingType::kCommodityServer, "commodity-server active", ThermalResistance{0.5}, 104.0,
+     104.0 * kWattsPerRel},
+    {CoolingType::kHighEndActive, "high-end active", ThermalResistance{0.2}, 380.0,
+     380.0 * kWattsPerRel},
+}};
+}  // namespace
+
+const CoolingSolution& cooling(CoolingType type) {
+  for (const auto& s : kSolutions) {
+    if (s.type == type) return s;
+  }
+  throw ConfigError("unknown cooling type");
+}
+
+const std::array<CoolingSolution, 4>& all_cooling_solutions() { return kSolutions; }
+
+const CoolingSolution& prototype_cooling(CoolingType type) {
+  static const std::array<CoolingSolution, 3> kModule{{
+      {CoolingType::kPassive, "passive (module)", ThermalResistance{1.45}, 0.0, 0.0},
+      {CoolingType::kLowEndActive, "low-end active (module)", ThermalResistance{0.70}, 1.0,
+       1.0 * kWattsPerRel},
+      {CoolingType::kHighEndActive, "high-end active (module)", ThermalResistance{0.49}, 12.0,
+       12.0 * kWattsPerRel},
+  }};
+  for (const auto& s : kModule) {
+    if (s.type == type) return s;
+  }
+  throw ConfigError("prototype module has no such cooling option");
+}
+
+double fan_power_for_resistance(ThermalResistance r) {
+  COOLPIM_REQUIRE(r.value() > 0.0, "thermal resistance must be positive");
+  const double passive_r = kSolutions[0].resistance.value();
+  if (r.value() >= passive_r) return 0.0;
+
+  // Piecewise power law through the three active points (log-log linear):
+  // (2.0, 1x), (0.5, 104x), (0.2, 380x).
+  struct Point {
+    double r, rel;
+  };
+  constexpr Point p1{2.0, 1.0}, p2{0.5, 104.0}, p3{0.2, 380.0};
+
+  auto fit = [](Point a, Point b, double rv) {
+    const double slope = std::log(b.rel / a.rel) / std::log(b.r / a.r);
+    return a.rel * std::pow(rv / a.r, slope);
+  };
+
+  double rel;
+  if (r.value() >= p2.r) {
+    // Between passive knee and commodity: also covers extrapolation toward
+    // the passive sink -- clamp to >= 0.
+    rel = fit(p1, p2, std::min(r.value(), p1.r));
+    if (r.value() > p1.r) rel = 0.0;
+  } else {
+    rel = fit(p2, p3, r.value());
+  }
+  return rel * kWattsPerRel;
+}
+
+ThermalResistance required_resistance(Watts peak_power, Celsius ambient, Celsius limit) {
+  COOLPIM_REQUIRE(peak_power.value() > 0.0, "power must be positive");
+  COOLPIM_REQUIRE(limit > ambient, "limit must exceed ambient");
+  return ThermalResistance{(limit - ambient) / peak_power.value()};
+}
+
+}  // namespace coolpim::power

@@ -1,0 +1,55 @@
+// Cooling solutions (paper Table II) and the fan-power curve.
+//
+// The paper characterizes four plate-fin heat sinks by thermal resistance and
+// relative fan power (passive = 0, low-end = 1x, commodity = 104x, high-end =
+// 380x, with the high-end fan measured at ~13 W).  The fan-curve model lets
+// ablation benches ask "what would a sink of resistance R cost?".
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace coolpim::power {
+
+enum class CoolingType { kPassive, kLowEndActive, kCommodityServer, kHighEndActive };
+
+struct CoolingSolution {
+  CoolingType type;
+  std::string name;
+  ThermalResistance resistance;  // sink-to-ambient, C/W
+  double fan_power_rel;          // relative to the low-end active fan (1x)
+  double fan_power_watts;        // absolute fan power
+
+  [[nodiscard]] bool is_active() const { return fan_power_watts > 0.0; }
+};
+
+/// The paper's Table II presets.  High-end fan power is ~13 W; the other
+/// active sinks scale by the published relative factors.
+[[nodiscard]] const CoolingSolution& cooling(CoolingType type);
+
+/// All four presets in Table II order.
+[[nodiscard]] const std::array<CoolingSolution, 4>& all_cooling_solutions();
+
+/// Module-level cooling of the HMC 1.1 prototype (Pico AC-510, paper Fig. 1).
+/// The compute module's small heat sinks plus chassis airflow behave very
+/// differently from the Table II server sinks; these effective resistances
+/// are calibrated so the modeled package-surface temperatures match the
+/// published thermal-camera readings.  There is no commodity-server variant
+/// on the module.
+[[nodiscard]] const CoolingSolution& prototype_cooling(CoolingType type);
+
+/// Fan power (watts) needed to reach a given sink resistance, interpolated on
+/// the paper's three active data points with a log-log piecewise fit.
+/// Resistances at or above the passive sink cost nothing.
+[[nodiscard]] double fan_power_for_resistance(ThermalResistance r);
+
+/// Minimum sink resistance for which `peak_power` watts stay below
+/// `limit` given `ambient`, using a pure lumped R model (the paper's
+/// "R <= 0.27 C/W for full-loaded PIM" estimate style).  The full grid model
+/// refines this; this is the first-order screening tool.
+[[nodiscard]] ThermalResistance required_resistance(Watts peak_power, Celsius ambient,
+                                                    Celsius limit);
+
+}  // namespace coolpim::power

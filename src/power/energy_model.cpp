@@ -1,0 +1,29 @@
+#include "power/energy_model.hpp"
+
+#include "common/error.hpp"
+
+namespace coolpim::power {
+
+PowerBreakdown compute_power(const EnergyParams& params, const OperatingPoint& op,
+                             int derate_level) {
+  COOLPIM_REQUIRE(op.pim_ops_per_sec >= 0.0, "PIM rate cannot be negative");
+  COOLPIM_REQUIRE(derate_level >= 0 && derate_level <= 2, "derate level out of range");
+  const double dm = params.dram_energy_mult[derate_level];
+  const double lm = params.logic_energy_mult[derate_level];
+  PowerBreakdown out{};
+  out.logic_dynamic =
+      Watts{params.logic_energy_per_bit.value() * op.link_raw.bits_per_sec() * lm};
+  out.dram_dynamic =
+      Watts{params.dram_energy_per_bit.value() * op.dram_internal.bits_per_sec() * dm};
+  out.fu = Watts{fu_op_energy(params).value() * op.pim_ops_per_sec};
+  out.logic_background = params.background_logic;
+  out.dram_background =
+      params.background_dram + Watts{params.refresh_extra_watts[derate_level]};
+  return out;
+}
+
+Joules fu_op_energy(const EnergyParams& params) {
+  return Joules{params.fu_energy_per_bit.value() * params.fu_width_bits};
+}
+
+}  // namespace coolpim::power

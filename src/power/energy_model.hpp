@@ -1,0 +1,69 @@
+// HMC power estimation from bandwidth utilization and PIM rate.
+//
+// Follows the paper's methodology (Section V-A): average energy per bit of
+// 3.7 pJ for the DRAM layers and 6.78 pJ for the logic layer (Micron
+// numbers), power = energy/bit * bandwidth.  PIM functional-unit power uses
+// the paper's formula Power(FU) = E * FU_width * PIM_rate with a 128-bit FU;
+// E comes from the gate-level synthesis the paper ran -- we use a calibrated
+// value that reproduces the Fig. 5 temperature/PIM-rate anchors.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace coolpim::power {
+
+/// Energy/power constants of one HMC cube.
+struct EnergyParams {
+  Joules dram_energy_per_bit{Joules::pj(3.7)};
+  Joules logic_energy_per_bit{Joules::pj(6.78)};
+  /// Per-bit energy of one PIM functional-unit operation (incl. vault command
+  /// handling); calibrated against Fig. 5 (see DESIGN.md section 6).
+  Joules fu_energy_per_bit{Joules::pj(7.0)};
+  double fu_width_bits{128.0};
+
+  /// Static/background power: SerDes links, PLLs, refresh.  HMC idle power is
+  /// dominated by the always-on link PHYs on the logic die.
+  Watts background_logic{Watts{8.0}};
+  Watts background_dram{Watts{2.0}};
+
+  /// Hot-phase energy penalties (paper Section I / [RAIDR], [Lee+ HPCA'15]):
+  /// above 85 C the refresh rate doubles and cell leakage grows, so energy
+  /// per bit RISES while throughput falls -- derating does not cool the
+  /// device.  Index 0 = normal, 1 = extended (85-95 C), 2 = critical.
+  double dram_energy_mult[3]{1.0, 2.10, 2.40};
+  double logic_energy_mult[3]{1.0, 1.30, 1.45};
+  double refresh_extra_watts[3]{0.0, 3.0, 5.0};
+};
+
+/// One operating point of the cube.
+struct OperatingPoint {
+  /// Raw off-chip link traffic (payload + headers), both directions summed.
+  Bandwidth link_raw;
+  /// Internal DRAM traffic: external data plus PIM read-modify-write traffic.
+  Bandwidth dram_internal;
+  /// PIM operations per second (paper plots op/ns = Gop/s).
+  double pim_ops_per_sec{0.0};
+};
+
+/// Power split by physical location, ready for the thermal power maps.
+struct PowerBreakdown {
+  Watts logic_dynamic;     // link/switch/vault-controller switching
+  Watts logic_background;  // SerDes static etc.
+  Watts fu;                // PIM functional units (logic die, vault centers)
+  Watts dram_dynamic;      // DRAM array access energy (spread over 8 dies)
+  Watts dram_background;   // refresh & leakage
+
+  [[nodiscard]] Watts logic_total() const { return logic_dynamic + logic_background + fu; }
+  [[nodiscard]] Watts dram_total() const { return dram_dynamic + dram_background; }
+  [[nodiscard]] Watts total() const { return logic_total() + dram_total(); }
+};
+
+/// Evaluate the power model at an operating point.  `derate_level` selects
+/// the hot-phase energy multipliers (0 normal, 1 extended, 2 critical).
+[[nodiscard]] PowerBreakdown compute_power(const EnergyParams& params, const OperatingPoint& op,
+                                           int derate_level = 0);
+
+/// Energy of a single PIM FU operation.
+[[nodiscard]] Joules fu_op_energy(const EnergyParams& params);
+
+}  // namespace coolpim::power

@@ -1,0 +1,74 @@
+// Discrete-event queue.
+//
+// A binary-heap priority queue of (time, sequence, action).  The sequence
+// number makes ordering of same-time events deterministic (FIFO within a
+// timestamp), which keeps whole-simulation results bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace coolpim::sim {
+
+using EventAction = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule an action at absolute time t.  t must not be in the past
+  /// relative to the last popped event.
+  void schedule(Time t, EventAction action) {
+    COOLPIM_ASSERT_MSG(t >= last_popped_, "event scheduled in the past");
+    heap_.push(Entry{t, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] Time next_time() const {
+    COOLPIM_ASSERT(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pop and return the earliest event.
+  [[nodiscard]] std::pair<Time, EventAction> pop() {
+    COOLPIM_ASSERT(!heap_.empty());
+    // std::priority_queue::top() returns const&; we need to move the action
+    // out, which is safe because we pop immediately after.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Time t = top.time;
+    EventAction action = std::move(top.action);
+    heap_.pop();
+    last_popped_ = t;
+    return {t, std::move(action)};
+  }
+
+  void clear() {
+    heap_ = {};
+    last_popped_ = Time::zero();
+    next_seq_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventAction action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time last_popped_{Time::zero()};
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace coolpim::sim

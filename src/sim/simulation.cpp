@@ -1,0 +1,35 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace coolpim::sim {
+
+void Simulation::schedule_periodic(Time period, std::function<bool()> tick) {
+  COOLPIM_REQUIRE(period > Time::zero(), "periodic tick needs a positive period");
+  // Self-rescheduling closure; shared_ptr lets the lambda re-arm itself.
+  auto fn = std::make_shared<std::function<void()>>();
+  auto tick_fn = std::make_shared<std::function<bool()>>(std::move(tick));
+  *fn = [this, period, fn, tick_fn]() {
+    if ((*tick_fn)()) schedule_in(period, *fn);
+  };
+  schedule_in(period, *fn);
+}
+
+Time Simulation::run_until(Time deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) {
+      now_ = deadline;
+      return now_;
+    }
+    auto [t, action] = queue_.pop();
+    now_ = t;
+    ++events_processed_;
+    action();
+  }
+  if (queue_.empty() && deadline != Time::max() && now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace coolpim::sim

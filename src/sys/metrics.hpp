@@ -1,0 +1,55 @@
+// Run-level metrics collected by the full-system model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/timeseries.hpp"
+#include "common/units.hpp"
+#include "hmc/thermal_policy.hpp"
+
+namespace coolpim::sys {
+
+struct RunResult {
+  std::string workload;
+  std::string scenario;
+
+  Time exec_time{Time::zero()};
+
+  // Traffic totals over the measured pass.
+  double link_data_bytes{0.0};
+  double link_raw_bytes{0.0};
+  double dram_internal_bytes{0.0};
+  std::uint64_t pim_ops{0};
+  std::uint64_t host_atomics{0};
+
+  // Energy over the measured pass (cube dynamic+background plus cooling fan).
+  double cube_energy_j{0.0};
+  double fan_energy_j{0.0};
+
+  // Thermal.
+  Celsius peak_dram_temp{0.0};
+  Celsius start_dram_temp{0.0};
+  std::uint64_t thermal_warnings{0};
+  bool shut_down{false};
+  Time time_above_normal{Time::zero()};  // time spent derated (> 85 C)
+
+  // Sampled traces (Fig. 14-style).
+  TimeSeries pim_rate{"pim_rate_op_per_ns"};
+  TimeSeries dram_temp{"peak_dram_temp_c"};
+  TimeSeries link_bw{"link_data_gbps"};
+
+  [[nodiscard]] double avg_pim_rate_op_per_ns() const {
+    const double secs = exec_time.as_sec();
+    return secs > 0.0 ? static_cast<double>(pim_ops) / secs * 1e-9 : 0.0;
+  }
+  [[nodiscard]] double avg_link_data_gbps() const {
+    const double secs = exec_time.as_sec();
+    return secs > 0.0 ? link_data_bytes / secs * 1e-9 : 0.0;
+  }
+  /// Total data moved over the links -- Fig. 11's "bandwidth consumption".
+  [[nodiscard]] double consumption_bytes() const { return link_raw_bytes; }
+  [[nodiscard]] double total_energy_j() const { return cube_energy_j + fan_energy_j; }
+};
+
+}  // namespace coolpim::sys

@@ -1,0 +1,50 @@
+// Multi-cube extension: a GPU driving several HMC cubes.
+//
+// The paper's prototype platform carries up to six HMC modules (Pico SC-6);
+// the evaluation uses one.  This extension scales the full-system model to N
+// cubes with the graph data striped across them.  Power-law graphs
+// concentrate atomic updates on hub vertices, so one cube can receive a
+// disproportionate share of the PIM traffic (`atomic_skew`); that cube
+// overheats first and -- because kernels proceed at the pace of their
+// slowest memory channel -- throttles the whole GPU.  CoolPIM's feedback
+// loop reacts to the *hottest* cube's warnings, which is exactly what the
+// per-response ERRSTAT transport provides for free.
+#pragma once
+
+#include <vector>
+
+#include "sys/metrics.hpp"
+#include "sys/system.hpp"
+
+namespace coolpim::sys {
+
+struct MultiCubeConfig {
+  SystemConfig base{};
+  std::size_t cubes{2};
+  /// Fraction of all atomic (PIM-able) traffic landing on cube 0; the rest
+  /// spreads evenly.  1/cubes = perfectly balanced.
+  double atomic_skew{0.5};
+
+  void validate() const;
+};
+
+struct MultiCubeResult {
+  RunResult aggregate;                    // GPU-level timing and totals
+  std::vector<Celsius> peak_dram_temps;   // per cube, measured epochs only
+  std::vector<Celsius> final_dram_temps;  // per cube at run end (post-throttle)
+  std::vector<double> pim_share;          // fraction of PIM ops served per cube
+};
+
+class MultiCubeSystem {
+ public:
+  explicit MultiCubeSystem(MultiCubeConfig cfg);
+
+  [[nodiscard]] MultiCubeResult run(const graph::WorkloadProfile& workload);
+
+  [[nodiscard]] const MultiCubeConfig& config() const { return cfg_; }
+
+ private:
+  MultiCubeConfig cfg_;
+};
+
+}  // namespace coolpim::sys

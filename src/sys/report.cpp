@@ -1,0 +1,38 @@
+#include "sys/report.hpp"
+
+#include <ostream>
+
+#include "common/csv.hpp"
+
+namespace coolpim::sys {
+
+void write_summary_csv(std::ostream& os, const std::vector<RunResult>& runs) {
+  CsvWriter csv{os};
+  csv.row({"workload", "scenario", "exec_ms", "link_data_gbps", "pim_rate_op_per_ns",
+           "consumption_bytes", "peak_dram_c", "start_dram_c", "thermal_warnings",
+           "time_derated_ms", "cube_energy_j", "fan_energy_j", "shut_down"});
+  for (const auto& r : runs) {
+    csv.row({r.workload, r.scenario, CsvWriter::num(r.exec_time.as_ms()),
+             CsvWriter::num(r.avg_link_data_gbps()),
+             CsvWriter::num(r.avg_pim_rate_op_per_ns()),
+             CsvWriter::num(r.consumption_bytes()), CsvWriter::num(r.peak_dram_temp.value()),
+             CsvWriter::num(r.start_dram_temp.value()), std::to_string(r.thermal_warnings),
+             CsvWriter::num(r.time_above_normal.as_ms()), CsvWriter::num(r.cube_energy_j),
+             CsvWriter::num(r.fan_energy_j), r.shut_down ? "1" : "0"});
+  }
+}
+
+void write_timeseries_csv(std::ostream& os, const std::vector<RunResult>& runs) {
+  CsvWriter csv{os};
+  csv.row({"workload", "scenario", "t_ms", "pim_rate_op_per_ns", "peak_dram_c",
+           "link_data_gbps"});
+  for (const auto& r : runs) {
+    for (std::size_t i = 0; i < r.pim_rate.size(); ++i) {
+      csv.row({r.workload, r.scenario, CsvWriter::num(r.pim_rate.time_at(i).as_ms()),
+               CsvWriter::num(r.pim_rate.value_at(i)), CsvWriter::num(r.dram_temp.value_at(i)),
+               CsvWriter::num(r.link_bw.value_at(i))});
+    }
+  }
+}
+
+}  // namespace coolpim::sys

@@ -1,0 +1,19 @@
+// Result export: RunResults as CSV tables (summary and time series).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sys/metrics.hpp"
+
+namespace coolpim::sys {
+
+/// One summary row per run: workload, scenario, timing, traffic, thermal and
+/// energy columns.
+void write_summary_csv(std::ostream& os, const std::vector<RunResult>& runs);
+
+/// Long-format time series: one row per sample per run
+/// (workload, scenario, t_ms, pim_rate, dram_temp, link_gbps).
+void write_timeseries_csv(std::ostream& os, const std::vector<RunResult>& runs);
+
+}  // namespace coolpim::sys

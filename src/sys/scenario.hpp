@@ -1,0 +1,34 @@
+// Evaluation scenarios (paper Section V-B).
+#pragma once
+
+#include <string_view>
+
+namespace coolpim::sys {
+
+enum class Scenario {
+  kNonOffloading,   // baseline: HMC as plain GPU memory
+  kNaiveOffloading, // PEI-style: offload everything, no source control
+  kCoolPimSw,       // SW-DynT token pool
+  kCoolPimHw,       // HW-DynT PCU
+  kIdealThermal,    // naive offloading with unlimited cooling
+  kBwThrottle,      // comparison policy: blanket bandwidth throttling
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kNonOffloading: return "Non-Offloading";
+    case Scenario::kNaiveOffloading: return "Naive-Offloading";
+    case Scenario::kCoolPimSw: return "CoolPIM (SW)";
+    case Scenario::kCoolPimHw: return "CoolPIM (HW)";
+    case Scenario::kIdealThermal: return "Ideal Thermal";
+    case Scenario::kBwThrottle: return "BW-Throttle";
+  }
+  return "?";
+}
+
+inline constexpr Scenario kAllScenarios[] = {
+    Scenario::kNonOffloading, Scenario::kNaiveOffloading, Scenario::kCoolPimSw,
+    Scenario::kCoolPimHw, Scenario::kIdealThermal,
+};
+
+}  // namespace coolpim::sys

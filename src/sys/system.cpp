@@ -1,0 +1,336 @@
+#include "sys/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bw_throttle.hpp"
+#include "core/hw_dynt.hpp"
+#include "core/sw_dynt.hpp"
+#include "gpu/engine.hpp"
+#include "hmc/link_model.hpp"
+#include "hmc/packet.hpp"
+#include "hmc/throughput_model.hpp"
+#include "thermal/hmc_thermal.hpp"
+
+namespace coolpim::sys {
+
+namespace {
+
+/// Delayed temperature sensor: reports the DRAM temperature `delay` ago.
+class DelayedSensor {
+ public:
+  explicit DelayedSensor(Time delay, Celsius initial) : delay_{delay} {
+    samples_.push_back({Time::zero(), initial});
+  }
+
+  void record(Time now, Celsius temp) {
+    samples_.push_back({now, temp});
+    // Drop everything older than we will ever need again.
+    while (samples_.size() > 2 && samples_[1].when + delay_ <= now) samples_.pop_front();
+  }
+
+  [[nodiscard]] Celsius sensed(Time now) const {
+    const Time target = now - delay_;
+    Celsius best = samples_.front().temp;
+    for (const auto& s : samples_) {
+      if (s.when <= target) best = s.temp;
+      else break;
+    }
+    return best;
+  }
+
+ private:
+  struct Sample {
+    Time when;
+    Celsius temp;
+  };
+  Time delay_;
+  std::deque<Sample> samples_;
+};
+
+std::unique_ptr<core::ThrottleController> make_controller(
+    const SystemConfig& cfg, const graph::WorkloadProfile& workload,
+    const hmc::LinkModel& link, double naive_rate_estimate) {
+  switch (cfg.scenario) {
+    case Scenario::kNonOffloading:
+      return std::make_unique<core::NonOffloadingController>();
+    case Scenario::kNaiveOffloading:
+    case Scenario::kIdealThermal:
+      return std::make_unique<core::NaiveController>();
+    case Scenario::kCoolPimSw: {
+      core::SwDynTConfig sc;
+      sc.control_factor = cfg.sw_control_factor;
+      sc.eq1.max_blocks = static_cast<std::uint32_t>(cfg.gpu.max_resident_blocks());
+      sc.eq1.pim_intensity = workload.pim_intensity();
+      sc.eq1.divergent_warp_ratio = workload.divergence_ratio();
+      sc.eq1.target_rate_op_per_ns = cfg.target_rate_op_per_ns;
+      sc.eq1.margin_blocks = cfg.eq1_margin_blocks;
+      // Peak PIM rate: the link FLIT budget divided by 3 FLITs per op.
+      sc.eq1.pim_peak_rate_op_per_ns =
+          link.flits_per_sec() / hmc::flit_cost(hmc::TransactionType::kPimNoReturn).total() *
+          1e-9;
+      sc.eq1.estimated_naive_rate_op_per_ns = naive_rate_estimate;
+      return std::make_unique<core::SwDynT>(sc);
+    }
+    case Scenario::kBwThrottle:
+      return std::make_unique<core::BwThrottleController>();
+    case Scenario::kCoolPimHw: {
+      core::HwDynTConfig hc;
+      hc.max_warps_per_sm = static_cast<std::uint32_t>(cfg.gpu.max_warps_per_sm);
+      hc.control_factor = cfg.hw_control_factor;
+      return std::make_unique<core::HwDynT>(hc);
+    }
+  }
+  throw ConfigError("unknown scenario");
+}
+
+}  // namespace
+
+System::System(SystemConfig cfg) : cfg_{std::move(cfg)} {
+  cfg_.gpu.validate();
+  cfg_.hmc.validate();
+}
+
+RunResult System::run(const graph::WorkloadProfile& workload) {
+  COOLPIM_REQUIRE(workload.graph_vertices > 0, "workload missing graph metadata");
+
+  const hmc::ThroughputModel hmc_model{cfg_.hmc, cfg_.policy};
+  const hmc::LinkModel& link = hmc_model.link();
+  const bool ideal = cfg_.scenario == Scenario::kIdealThermal;
+
+  // Property footprint: two 4-byte property arrays (e.g. level + frontier
+  // flags) over the vertices is representative of the workloads here.
+  gpu::CacheHitModel cache{cfg_.gpu,
+                           static_cast<std::uint64_t>(workload.graph_vertices) * 8};
+  auto launches = gpu::build_launches(workload, cfg_.gpu, cache);
+
+  // Static analysis for Eq. 1's PTP initialization: estimate the
+  // un-throttled offloading rate from the launch totals and the link budget
+  // (the "simple trial run" of the paper).
+  double est_flits = 0.0, est_instr = 0.0, est_atomics = 0.0;
+  for (const auto& l : launches) {
+    est_flits += 6.0 * (l.mem.read_txns + l.mem.write_txns) + 3.0 * l.mem.atomic_ops;
+    est_instr += l.warp_instructions;
+    est_atomics += l.mem.atomic_ops;
+  }
+  const double est_time =
+      std::max(est_flits / link.flits_per_sec(), est_instr / cfg_.gpu.issue_rate_per_sec());
+  const double naive_rate_estimate =
+      est_time > 0.0 ? est_atomics / est_time * 1e-9 : 0.0;
+
+  auto controller = make_controller(cfg_, workload, link, naive_rate_estimate);
+  gpu::ExecutionEngine engine{cfg_.gpu, std::move(launches), *controller};
+
+  thermal::HmcThermalModel therm{thermal::hmc20_thermal_config(cfg_.cooling)};
+  // Initial thermal state: the device has been serving the surrounding
+  // application's regular (non-PIM) traffic at full link bandwidth, so start
+  // from that steady state (~81 C with commodity cooling) unless overridden.
+  if (cfg_.start_temp_override > 0.0) {
+    power::OperatingPoint warm{};
+    warm.link_raw = link.config().link_raw_total();
+    warm.dram_internal = link.max_data_bandwidth();
+    // Scale the warm operating point so the steady peak matches the override
+    // (used by transient experiments that start just below the warning).
+    therm.apply_power(power::compute_power(cfg_.energy, warm));
+    therm.solve_steady();
+    double lo = 0.0, hi = 4.0;
+    for (int i = 0; i < 24; ++i) {
+      const double k = 0.5 * (lo + hi);
+      power::OperatingPoint scaled{};
+      scaled.link_raw = warm.link_raw * k;
+      scaled.dram_internal = warm.dram_internal * k;
+      therm.apply_power(power::compute_power(cfg_.energy, scaled));
+      therm.solve_steady();
+      if (therm.peak_dram().value() < cfg_.start_temp_override) lo = k; else hi = k;
+    }
+  } else {
+    power::OperatingPoint warm{};
+    warm.link_raw = link.config().link_raw_total();
+    warm.dram_internal = link.max_data_bandwidth();
+    therm.apply_power(power::compute_power(cfg_.energy, warm));
+    therm.solve_steady();
+  }
+
+  DelayedSensor sensor{cfg_.thermal_delay, therm.peak_dram()};
+
+  RunResult result;
+  result.workload = workload.name;
+  result.scenario = std::string(to_string(cfg_.scenario));
+
+  Time now = Time::zero();
+
+  struct PassOutcome {
+    Celsius peak{0.0};
+    power::OperatingPoint avg{};
+    hmc::EpochDemand demand_per_sec{};  // average offered demand rate
+  };
+
+
+  // One execution of the full workload; records into `result` when `measure`.
+  auto run_pass = [&](Time epoch, bool measure) -> PassOutcome {
+    engine.restart();
+    const Time pass_start = now;
+    Celsius pass_peak = therm.peak_dram();
+    double tot_raw = 0.0, tot_internal = 0.0, tot_pim = 0.0;
+    double dem_reads = 0.0, dem_writes = 0.0, dem_pims = 0.0;
+
+    while (!engine.finished()) {
+      COOLPIM_REQUIRE(now - pass_start < cfg_.max_time, "run exceeded max_time");
+      Time left = epoch;
+      double pim_ops = 0.0, reads = 0.0, writes = 0.0;
+      // Inner loop: launch overheads can split an epoch.
+      int spins = 0;
+      while (left > Time::zero() && !engine.finished()) {
+        COOLPIM_ASSERT_MSG(++spins < 10000, "epoch failed to make progress");
+        const Celsius temp = ideal ? therm.config().ambient : therm.peak_dram();
+        const auto demand = engine.plan(now, left);
+        dem_reads += demand.reads;
+        dem_writes += demand.writes;
+        dem_pims += demand.pim_ops;
+        const auto service = hmc_model.serve(demand, left, temp);
+        if (service.shut_down) {
+          // Conservative device behaviour: stop, cool, lose data (paper
+          // III-A.2); account the recovery and restart the pass cold.
+          result.shut_down = true;
+          now += cfg_.shutdown_recovery;
+          therm.reset();
+          engine.restart();
+          left = epoch;
+          continue;
+        }
+        const Time used = engine.commit(now, left, service);
+        pim_ops += service.pim_ops;
+        reads += service.reads;
+        writes += service.writes;
+        now += used;
+        left -= used;
+      }
+
+      const Time step = epoch - left;
+      if (step <= Time::zero()) continue;
+      const double secs = step.as_sec();
+
+      // Power from the epoch's served traffic.
+      hmc::TransactionMix mix{reads / secs, writes / secs, pim_ops / secs, 0.0};
+      power::OperatingPoint op;
+      op.link_raw = link.raw_link_bandwidth(mix);
+      op.dram_internal = link.internal_dram_bandwidth(mix);
+      op.pim_ops_per_sec = mix.pim_per_sec;
+      const int level =
+          ideal ? 0 : std::min(2, static_cast<int>(cfg_.policy.phase(therm.peak_dram())));
+      const auto pb = power::compute_power(cfg_.energy, op, level);
+      therm.apply_power(pb);
+      therm.step(step);
+      if (measure) {
+        result.cube_energy_j += pb.total().value() * secs;
+        result.fan_energy_j += power::cooling(cfg_.cooling).fan_power_watts * secs;
+      }
+      tot_raw += op.link_raw.as_bytes_per_sec() * secs;
+      tot_internal += op.dram_internal.as_bytes_per_sec() * secs;
+      tot_pim += pim_ops;
+
+      const Celsius dram = therm.peak_dram();
+      pass_peak = std::max(pass_peak, dram);
+      sensor.record(now, dram);
+
+      // Thermal warnings ride on response packets; the host sees the sensed
+      // (delayed) temperature.
+      if (!ideal && cfg_.policy.warning(sensor.sensed(now))) {
+        controller->on_thermal_warning(now);
+        if (measure) ++result.thermal_warnings;
+      }
+
+      if (measure) {
+        result.link_data_bytes += link.data_bandwidth(mix).as_bytes_per_sec() * secs;
+        result.link_raw_bytes += op.link_raw.as_bytes_per_sec() * secs;
+        result.dram_internal_bytes += op.dram_internal.as_bytes_per_sec() * secs;
+        result.pim_ops += static_cast<std::uint64_t>(pim_ops + 0.5);
+        if (!ideal && cfg_.policy.phase(dram) != hmc::ThermalPhase::kNormal) {
+          result.time_above_normal += step;
+        }
+        result.pim_rate.record(now, mix.pim_per_sec * 1e-9);
+        result.dram_temp.record(now, dram.value());
+        result.link_bw.record(now, link.data_bandwidth(mix).as_gbps());
+      }
+    }
+    if (measure) result.exec_time = now - pass_start;
+    PassOutcome out;
+    out.peak = pass_peak;
+    const double pass_secs = (now - pass_start).as_sec();
+    if (pass_secs > 0.0) {
+      out.avg.link_raw = Bandwidth::bytes_per_sec(tot_raw / pass_secs);
+      out.avg.dram_internal = Bandwidth::bytes_per_sec(tot_internal / pass_secs);
+      out.avg.pim_ops_per_sec = tot_pim / pass_secs;
+      out.demand_per_sec.reads = dem_reads / pass_secs;
+      out.demand_per_sec.writes = dem_writes / pass_secs;
+      out.demand_per_sec.pim_ops = dem_pims / pass_secs;
+    }
+    return out;
+  };
+
+  // Warm-up: the application executes the workload's kernels back-to-back,
+  // so the measured pass should start from the quasi-steady thermal and
+  // controller state of sustained execution.  The stack's thermal time
+  // constant (~1.5 ms) is short relative to a pass, so transient warm-up
+  // passes converge within a few repetitions.  Skipped when warm_start is
+  // off (transient experiments).
+  if (cfg_.warm_start) {
+    Celsius prev_peak = therm.peak_dram();
+    std::uint64_t prev_adjustments = controller->adjustments();
+    hmc::EpochDemand ema{};
+    bool have_ema = false;
+    for (unsigned rep = 0; rep < cfg_.max_warmup_reps; ++rep) {
+      const auto pass = run_pass(cfg_.warmup_epoch, /*measure=*/false);
+      // Fast-forward to the sustained equilibrium: the heat sink's own time
+      // constant is tens of seconds, far beyond what a pass can move, so
+      // solve for the steady state of the pass's average served traffic at
+      // the corresponding derate level.  The average is smoothed across
+      // repetitions (EMA) to damp the bistable hot/cool ping-pong a single
+      // pass average can induce near the derating boundary.
+      ema = pass.demand_per_sec;
+      have_ema = true;
+      // Sustained-equilibrium jump: at each candidate derate level, serve
+      // the pass's offered demand at that level and solve for the
+      // steady state of the *served* traffic under that level's hot-energy
+      // penalty.  Accept the coolest self-consistent level (a device whose
+      // full-speed steady state is below 85 C never enters the extended
+      // range); if no level is consistent the equilibrium straddles the
+      // 85 C boundary, which the extended-level solution represents best.
+      auto solve_at = [&](int level) {
+        const Celsius probe{level == 0 ? 80.0 : (level == 1 ? 90.0 : 100.0)};
+        const auto svc = hmc_model.serve(ema, Time::sec(1.0), probe);
+        power::OperatingPoint op;
+        op.link_raw = svc.link_raw;
+        op.dram_internal = svc.dram_internal;
+        op.pim_ops_per_sec = svc.pim_ops_per_sec;
+        therm.apply_power(power::compute_power(cfg_.energy, op, level));
+        therm.solve_steady();
+        return std::min(2, static_cast<int>(cfg_.policy.phase(therm.peak_dram())));
+      };
+      bool consistent = false;
+      for (int level = 0; level <= 2 && !consistent; ++level) {
+        consistent = solve_at(level) == level;
+      }
+      if (!consistent) (void)solve_at(1);
+      // The jump is a fast-forward, not a physical excursion: re-anchor the
+      // thermal sensor so stale pre-jump samples cannot trigger warnings.
+      sensor = DelayedSensor{cfg_.thermal_delay, therm.peak_dram()};
+      sensor.record(now, therm.peak_dram());
+
+      const bool thermally_stable = std::abs(pass.peak - prev_peak) < cfg_.warmup_tolerance_c;
+      const bool controller_quiet = controller->adjustments() == prev_adjustments;
+      if (rep > 0 && thermally_stable && controller_quiet) break;
+      prev_peak = pass.peak;
+      prev_adjustments = controller->adjustments();
+    }
+  }
+
+  result.start_dram_temp = therm.peak_dram();
+  engine.stats().reset();  // warm-up traffic is not part of the measurement
+  const auto measured = run_pass(cfg_.epoch, /*measure=*/true);
+  result.peak_dram_temp = ideal ? therm.config().ambient : measured.peak;
+  result.host_atomics = engine.stats().counter_value("host_atomics");
+  return result;
+}
+
+}  // namespace coolpim::sys

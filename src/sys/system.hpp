@@ -1,0 +1,77 @@
+// Full-system epoch-coupled model: GPU <-> HMC <-> power <-> thermal <->
+// CoolPIM feedback loop (paper Fig. 6 and Section V-A infrastructure).
+//
+// The simulation advances in ~10 us epochs.  Each epoch the GPU engine
+// offers transaction demand, the HMC throughput model resolves what it can
+// serve at the current (derated) temperature, the served traffic is turned
+// into power and integrated by the transient thermal model, and thermal
+// warnings -- sensed with the ~1 ms thermal delay of Fig. 8 -- drive the
+// scenario's throttle controller.
+//
+// Runs start warm: graph applications launch kernels back-to-back, so the
+// measured pass begins from the quasi-steady thermal state reached by
+// repeated warm-up executions of the same workload.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/units.hpp"
+#include "core/controller.hpp"
+#include "gpu/config.hpp"
+#include "hmc/config.hpp"
+#include "hmc/thermal_policy.hpp"
+#include "power/cooling.hpp"
+#include "power/energy_model.hpp"
+#include "sys/metrics.hpp"
+#include "sys/scenario.hpp"
+#include "sys/workloads.hpp"
+
+namespace coolpim::sys {
+
+struct SystemConfig {
+  gpu::GpuConfig gpu{};
+  hmc::HmcConfig hmc{hmc::hmc20_config()};
+  hmc::ThermalPolicy policy{};
+  power::EnergyParams energy{};
+  power::CoolingType cooling{power::CoolingType::kCommodityServer};
+  Scenario scenario{Scenario::kCoolPimHw};
+
+  Time epoch{Time::us(10.0)};
+  Time warmup_epoch{Time::us(50.0)};
+  /// Thermal sensing delay (T_thermal, Fig. 8): warnings reflect the DRAM
+  /// temperature this long ago.
+  Time thermal_delay{Time::ms(1.0)};
+
+  // CoolPIM knobs.
+  std::uint32_t sw_control_factor{4};
+  std::uint32_t hw_control_factor{8};
+  double target_rate_op_per_ns{1.3};
+  std::uint32_t eq1_margin_blocks{4};
+
+  // Run control.
+  bool warm_start{true};
+  /// If > 0: bisect the pre-run background load so the starting peak DRAM
+  /// temperature equals this value (transient experiments, Fig. 14).
+  double start_temp_override{-1.0};
+  unsigned max_warmup_reps{8};
+  double warmup_tolerance_c{0.5};
+  Time max_time{Time::sec(5.0)};
+  /// Thermal-shutdown recovery penalty (prototype measured tens of seconds).
+  Time shutdown_recovery{Time::sec(10.0)};
+};
+
+class System {
+ public:
+  explicit System(SystemConfig cfg);
+
+  /// Run one workload under the configured scenario and return its metrics.
+  [[nodiscard]] RunResult run(const graph::WorkloadProfile& workload);
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+
+ private:
+  SystemConfig cfg_;
+};
+
+}  // namespace coolpim::sys

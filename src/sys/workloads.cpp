@@ -1,0 +1,61 @@
+#include "sys/workloads.hpp"
+
+#include "common/error.hpp"
+#include "graph/generator.hpp"
+#include "graph/workloads.hpp"
+
+namespace coolpim::sys {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names{
+      "dc",       "kcore",    "pagerank", "bfs-ta",   "bfs-dwc",
+      "bfs-ttc",  "bfs-twc",  "sssp-dtc", "sssp-dwc", "sssp-twc",
+  };
+  return names;
+}
+
+const std::vector<std::string>& extended_workload_names() {
+  static const std::vector<std::string> names{"cc", "tc"};
+  return names;
+}
+
+WorkloadSet::WorkloadSet(unsigned scale, std::uint64_t seed, bool include_extended)
+    : scale_{scale}, graph_{graph::make_ldbc_like(scale, seed)} {
+  using graph::BfsVariant;
+  using graph::SsspVariant;
+  // Traverse from the highest-degree vertex (standard practice for RMAT
+  // graphs, where random vertices are often isolated).
+  graph::VertexId source = 0;
+  std::uint32_t best_degree = 0;
+  for (graph::VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    if (graph_.out_degree(v) > best_degree) {
+      best_degree = graph_.out_degree(v);
+      source = v;
+    }
+  }
+
+  profiles_.push_back(graph::run_degree_centrality(graph_));
+  profiles_.push_back(graph::run_kcore(graph_));
+  profiles_.push_back(graph::run_pagerank(graph_));
+  profiles_.push_back(graph::run_bfs(graph_, source, BfsVariant::kTopologyAtomic));
+  profiles_.push_back(graph::run_bfs(graph_, source, BfsVariant::kDataWarpCentric));
+  profiles_.push_back(graph::run_bfs(graph_, source, BfsVariant::kTopologyThreadCentric));
+  profiles_.push_back(graph::run_bfs(graph_, source, BfsVariant::kTopologyWarpCentric));
+  profiles_.push_back(graph::run_sssp(graph_, source, SsspVariant::kDataThreadCentric));
+  profiles_.push_back(graph::run_sssp(graph_, source, SsspVariant::kDataWarpCentric));
+  profiles_.push_back(graph::run_sssp(graph_, source, SsspVariant::kTopologyWarpCentric));
+
+  if (include_extended) {
+    profiles_.push_back(graph::run_connected_components(graph_));
+    profiles_.push_back(graph::run_triangle_count(graph_));
+  }
+}
+
+const graph::WorkloadProfile& WorkloadSet::profile(const std::string& name) const {
+  for (const auto& p : profiles_) {
+    if (p.name == name) return p;
+  }
+  throw ConfigError("unknown workload: " + name);
+}
+
+}  // namespace coolpim::sys

@@ -1,0 +1,39 @@
+// Workload registry: the paper's ten GraphBIG workloads on the LDBC-like
+// graph, generated and profiled once and shared across scenario runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/profile.hpp"
+
+namespace coolpim::sys {
+
+/// The Fig. 10 workload order.
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+/// Extension workloads available beyond the paper's evaluation set.
+[[nodiscard]] const std::vector<std::string>& extended_workload_names();
+
+class WorkloadSet {
+ public:
+  /// Build the LDBC-like graph at `scale` (2^scale vertices, edge factor 16)
+  /// and profile all ten paper workloads on it; `include_extended` adds the
+  /// cc/tc extension workloads.
+  explicit WorkloadSet(unsigned scale = 19, std::uint64_t seed = 1,
+                       bool include_extended = false);
+
+  [[nodiscard]] const graph::CsrGraph& graph() const { return graph_; }
+  [[nodiscard]] const graph::WorkloadProfile& profile(const std::string& name) const;
+  [[nodiscard]] const std::vector<graph::WorkloadProfile>& all() const { return profiles_; }
+  [[nodiscard]] unsigned scale() const { return scale_; }
+
+ private:
+  unsigned scale_;
+  graph::CsrGraph graph_;
+  std::vector<graph::WorkloadProfile> profiles_;
+};
+
+}  // namespace coolpim::sys

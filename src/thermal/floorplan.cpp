@@ -1,0 +1,89 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace coolpim::thermal {
+
+std::size_t Floorplan::vault_center_cell(std::size_t vx, std::size_t vy) const {
+  COOLPIM_ASSERT(vx < vaults_x && vy < vaults_y);
+  const double fx = (static_cast<double>(vx) + 0.5) / static_cast<double>(vaults_x);
+  const double fy = (static_cast<double>(vy) + 0.5) / static_cast<double>(vaults_y);
+  const auto cx = std::min(grid.nx - 1, static_cast<std::size_t>(fx * static_cast<double>(grid.nx)));
+  const auto cy = std::min(grid.ny - 1, static_cast<std::size_t>(fy * static_cast<double>(grid.ny)));
+  return grid.index(cx, cy);
+}
+
+void Floorplan::validate() const {
+  COOLPIM_REQUIRE(die_width_m > 0 && die_height_m > 0, "die dimensions must be positive");
+  COOLPIM_REQUIRE(vaults_x > 0 && vaults_y > 0, "need at least one vault");
+  COOLPIM_REQUIRE(grid.nx >= vaults_x && grid.ny >= vaults_y,
+                  "grid must resolve individual vaults");
+}
+
+void PowerMap::add(const PowerMap& other) {
+  COOLPIM_ASSERT(other.watts_.size() == watts_.size());
+  for (std::size_t i = 0; i < watts_.size(); ++i) watts_[i] += other.watts_[i];
+}
+
+double PowerMap::total() const {
+  return std::accumulate(watts_.begin(), watts_.end(), 0.0);
+}
+
+void PowerMap::scale(double k) {
+  for (auto& w : watts_) w *= k;
+}
+
+void PowerMap::clear() { std::fill(watts_.begin(), watts_.end(), 0.0); }
+
+PowerMap uniform_power(const Floorplan& fp, double total_watts) {
+  PowerMap map{fp.grid};
+  const double per_cell = total_watts / static_cast<double>(fp.grid.cells());
+  for (std::size_t i = 0; i < fp.grid.cells(); ++i) map.add(i, per_cell);
+  return map;
+}
+
+PowerMap vault_centered_power(const Floorplan& fp, double total_watts, int spread_cells) {
+  COOLPIM_REQUIRE(spread_cells >= 1, "spread_cells must be >= 1");
+  PowerMap map{fp.grid};
+  const double per_vault = total_watts / static_cast<double>(fp.vault_count());
+  const int radius = spread_cells - 1;
+  for (std::size_t vy = 0; vy < fp.vaults_y; ++vy) {
+    for (std::size_t vx = 0; vx < fp.vaults_x; ++vx) {
+      const std::size_t center = fp.vault_center_cell(vx, vy);
+      const auto cx = static_cast<int>(center % fp.grid.nx);
+      const auto cy = static_cast<int>(center / fp.grid.nx);
+      // Collect the (2r+1)^2 block clipped to the die, then share equally.
+      std::vector<std::size_t> cells;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const int x = cx + dx, y = cy + dy;
+          if (x < 0 || y < 0 || x >= static_cast<int>(fp.grid.nx) ||
+              y >= static_cast<int>(fp.grid.ny)) {
+            continue;
+          }
+          cells.push_back(fp.grid.index(static_cast<std::size_t>(x), static_cast<std::size_t>(y)));
+        }
+      }
+      for (const auto c : cells) map.add(c, per_vault / static_cast<double>(cells.size()));
+    }
+  }
+  return map;
+}
+
+PowerMap edge_power(const Floorplan& fp, double total_watts) {
+  PowerMap map{fp.grid};
+  std::vector<std::size_t> edge;
+  for (std::size_t y = 0; y < fp.grid.ny; ++y) {
+    for (std::size_t x = 0; x < fp.grid.nx; ++x) {
+      if (x == 0 || y == 0 || x == fp.grid.nx - 1 || y == fp.grid.ny - 1) {
+        edge.push_back(fp.grid.index(x, y));
+      }
+    }
+  }
+  COOLPIM_ASSERT(!edge.empty());
+  for (const auto c : edge) map.add(c, total_watts / static_cast<double>(edge.size()));
+  return map;
+}
+
+}  // namespace coolpim::thermal

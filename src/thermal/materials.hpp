@@ -1,0 +1,33 @@
+// Material properties for the compact thermal model of a 3D die stack.
+//
+// Values are standard silicon / underfill / TIM properties from packaging
+// literature; they are the *physical* inputs of the model.  The few free
+// parameters that real measurements would pin down (interface resistances,
+// hotspot concentration) are calibrated in hmc_thermal.cpp against the
+// paper's published anchor points (DESIGN.md section 6).
+#pragma once
+
+namespace coolpim::thermal {
+
+/// Bulk thermal conductivity, W/(m*K).
+struct Conductivity {
+  static constexpr double silicon = 120.0;      // thinned die, ~50 um
+  static constexpr double underfill = 1.5;      // die-attach / bond layer
+  static constexpr double tim = 4.0;            // thermal interface material
+  static constexpr double copper = 400.0;       // heat-sink base
+};
+
+/// Volumetric heat capacity, J/(m^3*K).
+struct HeatCapacity {
+  static constexpr double silicon = 1.63e6;
+  static constexpr double copper = 3.45e6;
+};
+
+/// Layer geometry for a die-stacked memory cube (meters).
+struct StackGeometry {
+  static constexpr double die_thickness = 50e-6;        // thinned DRAM/logic die
+  static constexpr double bond_thickness = 20e-6;       // inter-die bond/underfill
+  static constexpr double tim_thickness = 50e-6;        // package TIM to sink
+};
+
+}  // namespace coolpim::thermal

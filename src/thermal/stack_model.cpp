@@ -1,0 +1,267 @@
+#include "thermal/stack_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace coolpim::thermal {
+
+void StackSpec::validate() const {
+  floorplan.validate();
+  COOLPIM_REQUIRE(!layers.empty(), "stack needs at least one layer");
+  COOLPIM_REQUIRE(tim_r > 0, "TIM resistance must be positive");
+  COOLPIM_REQUIRE(sink_r.value() > 0, "sink resistance must be positive");
+  COOLPIM_REQUIRE(board_r > 0, "board resistance must be positive");
+  COOLPIM_REQUIRE(sink_heat_capacity > 0, "sink heat capacity must be positive");
+  for (const auto& l : layers) {
+    COOLPIM_REQUIRE(l.thickness_m > 0 && l.conductivity > 0 && l.volumetric_heat_capacity > 0,
+                    "layer properties must be positive: " + l.name);
+    COOLPIM_REQUIRE(l.interface_r_above > 0, "interface resistance must be positive: " + l.name);
+  }
+}
+
+StackModel::StackModel(StackSpec spec) : spec_{std::move(spec)} {
+  spec_.validate();
+  n_cells_ = spec_.floorplan.grid.cells();
+  n_nodes_ = n_cells_ * spec_.layers.size();
+  temp_k_.assign(n_nodes_, spec_.ambient.as_kelvin());
+  sink_temp_k_ = spec_.ambient.as_kelvin();
+  power_w_.assign(n_nodes_, 0.0);
+  build_network();
+}
+
+void StackModel::build_network() {
+  const auto& fp = spec_.floorplan;
+  const std::size_t nx = fp.grid.nx;
+  const std::size_t ny = fp.grid.ny;
+  const double cw = fp.cell_width_m();
+  const double ch = fp.cell_height_m();
+  const double area = fp.cell_area_m2();
+  const std::size_t n_layers = spec_.layers.size();
+
+  g_east_.assign(n_nodes_, 0.0);
+  g_north_.assign(n_nodes_, 0.0);
+  g_up_.assign(n_nodes_, 0.0);
+  g_sink_.assign(n_nodes_, 0.0);
+  g_board_.assign(n_nodes_, 0.0);
+  g_diag_.assign(n_nodes_, 0.0);
+  cap_.assign(n_nodes_, 0.0);
+
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const auto& layer = spec_.layers[l];
+    const double t = layer.thickness_m;
+    const double k = layer.conductivity;
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t nidx = node(l, fp.grid.index(x, y));
+        cap_[nidx] = layer.volumetric_heat_capacity * area * t;
+        // Lateral conduction through the die cross-section.
+        if (x + 1 < nx) g_east_[nidx] = k * t * ch / cw;
+        if (y + 1 < ny) g_north_[nidx] = k * t * cw / ch;
+        // Vertical conduction: half-die + interface + half-die above.
+        if (l + 1 < n_layers) {
+          const auto& above = spec_.layers[l + 1];
+          const double r = t / (2.0 * k) + layer.interface_r_above +
+                           above.thickness_m / (2.0 * above.conductivity);
+          g_up_[nidx] = area / r;
+        } else {
+          // Top layer couples to the lumped sink node through half-die + TIM.
+          const double r = t / (2.0 * k) + spec_.tim_r;
+          g_sink_[nidx] = area / r;
+        }
+        if (l == 0) {
+          // Bottom layer leaks into the board: bulk resistance shared by all
+          // bottom cells.
+          g_board_[nidx] = 1.0 / (spec_.board_r * static_cast<double>(n_cells_));
+        }
+      }
+    }
+  }
+
+  // Accumulate per-node incident conductance for diag / stability.
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t nidx = node(l, fp.grid.index(x, y));
+        double g = g_up_[nidx] + g_sink_[nidx] + g_board_[nidx];
+        if (x + 1 < nx) g += g_east_[nidx];
+        if (x > 0) g += g_east_[nidx - 1];
+        if (y + 1 < ny) g += g_north_[nidx];
+        if (y > 0) g += g_north_[nidx - nx];
+        if (l > 0) g += g_up_[node(l - 1, fp.grid.index(x, y))];
+        g_diag_[nidx] = g;
+      }
+    }
+  }
+
+  g_sink_ambient_ = 1.0 / spec_.sink_r.value();
+  sink_g_total_ = g_sink_ambient_;
+  for (const auto g : g_sink_) sink_g_total_ += g;
+
+  // Stable explicit-Euler step: dt < min_i C_i / G_i (with safety margin).
+  double dt_min = spec_.sink_heat_capacity / sink_g_total_;
+  for (std::size_t i = 0; i < n_nodes_; ++i) {
+    dt_min = std::min(dt_min, cap_[i] / g_diag_[i]);
+  }
+  stable_dt_ = Time::sec(0.5 * dt_min);
+  COOLPIM_ASSERT(stable_dt_ > Time::zero());
+}
+
+void StackModel::set_layer_power(std::size_t layer, const PowerMap& power) {
+  COOLPIM_REQUIRE(layer < spec_.layers.size(), "layer index out of range");
+  COOLPIM_ASSERT(power.dims().cells() == n_cells_);
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    power_w_[node(layer, c)] = power.at(c);
+  }
+}
+
+void StackModel::clear_power() { std::fill(power_w_.begin(), power_w_.end(), 0.0); }
+
+std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters) {
+  const auto& fp = spec_.floorplan;
+  const std::size_t nx = fp.grid.nx;
+  const std::size_t ny = fp.grid.ny;
+  const std::size_t n_layers = spec_.layers.size();
+  const double ambient_k = spec_.ambient.as_kelvin();
+  const double omega = 1.85;  // SOR over-relaxation
+
+  std::size_t iter = 0;
+  for (; iter < max_iters; ++iter) {
+    double max_delta = 0.0;
+
+    // Sink node first (Gauss-Seidel: uses the freshest neighbour values).
+    {
+      double num = g_sink_ambient_ * ambient_k + spec_.co_heater_watts;
+      for (std::size_t c = 0; c < n_cells_; ++c) {
+        const std::size_t nidx = node(n_layers - 1, c);
+        num += g_sink_[nidx] * temp_k_[nidx];
+      }
+      const double t_new = num / sink_g_total_;
+      max_delta = std::max(max_delta, std::abs(t_new - sink_temp_k_));
+      sink_temp_k_ = t_new;
+    }
+
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        for (std::size_t x = 0; x < nx; ++x) {
+          const std::size_t nidx = node(l, fp.grid.index(x, y));
+          double num = power_w_[nidx];
+          if (x + 1 < nx) num += g_east_[nidx] * temp_k_[nidx + 1];
+          if (x > 0) num += g_east_[nidx - 1] * temp_k_[nidx - 1];
+          if (y + 1 < ny) num += g_north_[nidx] * temp_k_[nidx + nx];
+          if (y > 0) num += g_north_[nidx - nx] * temp_k_[nidx - nx];
+          if (l + 1 < n_layers) num += g_up_[nidx] * temp_k_[nidx + n_cells_];
+          if (l > 0) num += g_up_[nidx - n_cells_] * temp_k_[nidx - n_cells_];
+          num += g_sink_[nidx] * sink_temp_k_;
+          num += g_board_[nidx] * ambient_k;
+
+          const double t_gs = num / g_diag_[nidx];
+          const double t_new = temp_k_[nidx] + omega * (t_gs - temp_k_[nidx]);
+          max_delta = std::max(max_delta, std::abs(t_new - temp_k_[nidx]));
+          temp_k_[nidx] = t_new;
+        }
+      }
+    }
+
+    if (max_delta < tolerance_k) break;
+  }
+  COOLPIM_ASSERT_MSG(iter < max_iters, "steady-state solve did not converge");
+  return iter + 1;
+}
+
+void StackModel::step(Time dt) {
+  COOLPIM_REQUIRE(dt > Time::zero(), "transient step must be positive");
+  const auto& fp = spec_.floorplan;
+  const std::size_t nx = fp.grid.nx;
+  const std::size_t ny = fp.grid.ny;
+  const std::size_t n_layers = spec_.layers.size();
+  const double ambient_k = spec_.ambient.as_kelvin();
+
+  const double total = dt.as_sec();
+  const double h_max = stable_dt_.as_sec();
+  const auto n_sub = static_cast<std::size_t>(std::ceil(total / h_max));
+  const double h = total / static_cast<double>(n_sub);
+
+  std::vector<double> next(n_nodes_);
+  for (std::size_t s = 0; s < n_sub; ++s) {
+    double sink_flow = g_sink_ambient_ * (ambient_k - sink_temp_k_) + spec_.co_heater_watts;
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        for (std::size_t x = 0; x < nx; ++x) {
+          const std::size_t nidx = node(l, fp.grid.index(x, y));
+          const double t = temp_k_[nidx];
+          double flow = power_w_[nidx];
+          if (x + 1 < nx) flow += g_east_[nidx] * (temp_k_[nidx + 1] - t);
+          if (x > 0) flow += g_east_[nidx - 1] * (temp_k_[nidx - 1] - t);
+          if (y + 1 < ny) flow += g_north_[nidx] * (temp_k_[nidx + nx] - t);
+          if (y > 0) flow += g_north_[nidx - nx] * (temp_k_[nidx - nx] - t);
+          if (l + 1 < n_layers) flow += g_up_[nidx] * (temp_k_[nidx + n_cells_] - t);
+          if (l > 0) flow += g_up_[nidx - n_cells_] * (temp_k_[nidx - n_cells_] - t);
+          if (g_sink_[nidx] > 0.0) {
+            const double f = g_sink_[nidx] * (sink_temp_k_ - t);
+            flow += f;
+            sink_flow -= f;
+          }
+          flow += g_board_[nidx] * (ambient_k - t);
+          next[nidx] = t + h * flow / cap_[nidx];
+        }
+      }
+    }
+    sink_temp_k_ += h * sink_flow / spec_.sink_heat_capacity;
+    temp_k_.swap(next);
+  }
+}
+
+void StackModel::reset_to_ambient() {
+  std::fill(temp_k_.begin(), temp_k_.end(), spec_.ambient.as_kelvin());
+  sink_temp_k_ = spec_.ambient.as_kelvin();
+}
+
+Celsius StackModel::cell_temp(std::size_t layer, std::size_t cell) const {
+  COOLPIM_ASSERT(layer < spec_.layers.size() && cell < n_cells_);
+  return Celsius::from_kelvin(temp_k_[layer * n_cells_ + cell]);
+}
+
+Celsius StackModel::layer_peak(std::size_t layer) const {
+  COOLPIM_ASSERT(layer < spec_.layers.size());
+  const auto begin = temp_k_.begin() + static_cast<std::ptrdiff_t>(layer * n_cells_);
+  return Celsius::from_kelvin(*std::max_element(begin, begin + static_cast<std::ptrdiff_t>(n_cells_)));
+}
+
+Celsius StackModel::layer_mean(std::size_t layer) const {
+  COOLPIM_ASSERT(layer < spec_.layers.size());
+  double acc = 0.0;
+  for (std::size_t c = 0; c < n_cells_; ++c) acc += temp_k_[layer * n_cells_ + c];
+  return Celsius::from_kelvin(acc / static_cast<double>(n_cells_));
+}
+
+Celsius StackModel::peak_over_layers(std::size_t first, std::size_t last) const {
+  COOLPIM_ASSERT(first <= last && last < spec_.layers.size());
+  double peak = -1e9;
+  for (std::size_t l = first; l <= last; ++l) {
+    peak = std::max(peak, layer_peak(l).value());
+  }
+  return Celsius{peak};
+}
+
+Celsius StackModel::sink_temp() const { return Celsius::from_kelvin(sink_temp_k_); }
+
+Celsius StackModel::surface_temp() const {
+  // The camera sees the package lid: close to the top-die mean, pulled a few
+  // degrees toward the sink by the lid/TIM gradient.
+  const double top_mean = layer_mean(spec_.layers.size() - 1).value();
+  const double sink = sink_temp().value();
+  return Celsius{0.7 * top_mean + 0.3 * sink};
+}
+
+std::vector<double> StackModel::layer_field(std::size_t layer) const {
+  COOLPIM_ASSERT(layer < spec_.layers.size());
+  std::vector<double> out(n_cells_);
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    out[c] = Celsius::from_kelvin(temp_k_[layer * n_cells_ + c]).value();
+  }
+  return out;
+}
+
+}  // namespace coolpim::thermal

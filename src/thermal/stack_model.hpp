@@ -1,0 +1,134 @@
+// Compact transient thermal model of a 3D die stack (3D-ICE stand-in).
+//
+// The stack is discretized into nx*ny cells per die layer.  Heat flows
+// laterally within a layer (silicon conduction), vertically between layers
+// (through half-die silicon plus a bond/underfill interface), from the top
+// layer through the TIM into a lumped heat-sink node, and from the sink to
+// ambient through the sink's rated thermal resistance.  The bottom (logic)
+// layer leaks weakly into the package substrate/board.
+//
+//            ambient
+//               |  R_sink
+//          [sink node]  <- optional co-heater (e.g. FPGA sharing the sink)
+//               |  TIM (per cell)
+//        [layer N-1]  top DRAM die
+//               |   bond interfaces
+//             ...
+//        [layer 1]    bottom DRAM die
+//               |
+//        [layer 0]    logic die
+//               |  R_board (weak)
+//            ambient
+//
+// Solvers: steady state via Gauss-Seidel/SOR; transient via explicit Euler
+// with an automatically chosen stable sub-step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace coolpim::thermal {
+
+/// One die layer of the stack.
+struct LayerSpec {
+  std::string name;
+  double thickness_m{50e-6};
+  double conductivity{120.0};            // W/(m*K)
+  double volumetric_heat_capacity{1.63e6};  // J/(m^3*K)
+  /// Interface (bond/underfill) resistance between this layer and the one
+  /// above it, m^2*K/W.  Ignored for the top layer (TIM is separate).
+  double interface_r_above{1.0e-5};
+};
+
+/// Full stack description.  Layer 0 is the bottom (logic) die.
+struct StackSpec {
+  Floorplan floorplan{};
+  std::vector<LayerSpec> layers;
+  double tim_r{1.25e-5};                    // m^2*K/W, top die -> sink
+  ThermalResistance sink_r{0.5};            // sink -> ambient, C/W
+  double sink_heat_capacity{80.0};          // J/K (lumped sink mass)
+  double board_r{20.0};                     // C/W bulk, bottom die -> ambient
+  Celsius ambient{25.0};
+  /// Extra steady heat dumped directly into the sink node, modelling a
+  /// co-packaged component sharing the heat sink (the AC-510's FPGA).
+  double co_heater_watts{0.0};
+
+  void validate() const;
+};
+
+class StackModel {
+ public:
+  explicit StackModel(StackSpec spec);
+
+  [[nodiscard]] const StackSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t layer_count() const { return spec_.layers.size(); }
+  [[nodiscard]] std::size_t cells_per_layer() const { return spec_.floorplan.grid.cells(); }
+
+  /// Replace the power map of one layer (watts per cell).
+  void set_layer_power(std::size_t layer, const PowerMap& power);
+  /// Convenience: clear all power.
+  void clear_power();
+
+  /// Solve for the steady-state temperature field with the current power.
+  /// Returns the number of solver iterations used.
+  std::size_t solve_steady(double tolerance_k = 1e-4, std::size_t max_iters = 200000);
+
+  /// Advance the transient solution by `dt` with the current power.
+  void step(Time dt);
+
+  /// Reset all temperatures to ambient.
+  void reset_to_ambient();
+
+  [[nodiscard]] Celsius cell_temp(std::size_t layer, std::size_t cell) const;
+  [[nodiscard]] Celsius layer_peak(std::size_t layer) const;
+  [[nodiscard]] Celsius layer_mean(std::size_t layer) const;
+  /// Peak over layers [first, last] inclusive.
+  [[nodiscard]] Celsius peak_over_layers(std::size_t first, std::size_t last) const;
+  [[nodiscard]] Celsius sink_temp() const;
+
+  /// Package surface temperature estimate: what a thermal camera aimed at
+  /// the package lid would read -- between the top-die and sink temperature.
+  [[nodiscard]] Celsius surface_temp() const;
+
+  /// Copy of one layer's temperature field in Celsius (row-major).
+  [[nodiscard]] std::vector<double> layer_field(std::size_t layer) const;
+
+  /// Largest stable explicit-Euler step for the current conductances.
+  [[nodiscard]] Time stable_step() const { return stable_dt_; }
+
+ private:
+  void build_network();
+  [[nodiscard]] std::size_t node(std::size_t layer, std::size_t cell) const {
+    return layer * cells_per_layer() + cell;
+  }
+
+  StackSpec spec_;
+  std::size_t n_cells_{0};
+  std::size_t n_nodes_{0};  // layer cells; sink node handled separately
+
+  // Temperatures in Kelvin.
+  std::vector<double> temp_k_;
+  double sink_temp_k_{0.0};
+
+  // Power per node (watts).
+  std::vector<double> power_w_;
+
+  // Conductance network (W/K).
+  std::vector<double> g_east_;    // node -> node+1 in x (0 if at edge)
+  std::vector<double> g_north_;   // node -> node+nx in y (0 if at edge)
+  std::vector<double> g_up_;      // node -> node one layer up (0 for top layer)
+  std::vector<double> g_sink_;    // top-layer cells -> sink node
+  std::vector<double> g_board_;   // bottom-layer cells -> ambient
+  std::vector<double> g_diag_;    // sum of incident conductances per node
+  double g_sink_ambient_{0.0};
+  double sink_g_total_{0.0};
+
+  // Heat capacities (J/K).
+  std::vector<double> cap_;
+  Time stable_dt_{Time::zero()};
+};
+
+}  // namespace coolpim::thermal

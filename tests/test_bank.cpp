@@ -1,0 +1,101 @@
+// Tests for the DRAM bank timing model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "hmc/bank.hpp"
+
+namespace coolpim::hmc {
+namespace {
+
+DramTiming timing() { return DramTiming{}; }
+
+TEST(BankTest, ReadTiming) {
+  Bank bank{timing()};
+  const auto s = bank.schedule(Time::zero(), AccessKind::kRead);
+  EXPECT_EQ(s.start, Time::zero());
+  // ACT (tRCD) + CAS (tCL) = 27.5 ns to data.
+  EXPECT_NEAR(s.complete.as_ns(), 27.5, 0.01);
+  // Bank reusable after tRAS + tRP = 41.25 ns.
+  EXPECT_NEAR(s.bank_free.as_ns(), 41.25, 0.01);
+}
+
+TEST(BankTest, BackToBackAccessesSerialize) {
+  Bank bank{timing()};
+  const auto a = bank.schedule(Time::zero(), AccessKind::kRead);
+  const auto b = bank.schedule(Time::ns(1.0), AccessKind::kRead);
+  EXPECT_EQ(b.start, a.bank_free);
+  EXPECT_EQ(bank.accesses(), 2u);
+}
+
+TEST(BankTest, IdleBankStartsImmediately) {
+  Bank bank{timing()};
+  (void)bank.schedule(Time::zero(), AccessKind::kRead);
+  const auto later = bank.schedule(Time::us(1.0), AccessKind::kWrite);
+  EXPECT_EQ(later.start, Time::us(1.0));
+}
+
+TEST(BankTest, PimRmwLocksLongerThanRead) {
+  Bank read_bank{timing()};
+  Bank rmw_bank{timing()};
+  const auto rd = read_bank.schedule(Time::zero(), AccessKind::kRead);
+  const auto rmw = rmw_bank.schedule(Time::zero(), AccessKind::kPimRmw);
+  // RMW holds the bank through read + FU + write-back (paper Section II-B:
+  // the DRAM bank is locked during the atomic RMW).
+  EXPECT_GT(rmw.bank_free, rd.bank_free);
+  EXPECT_GT(rmw.complete, rd.complete);
+  // Read-out + 2 ns FU + write CAS = 27.5 + 2 + 13.75 ns.
+  EXPECT_NEAR(rmw.complete.as_ns(), 43.25, 0.01);
+}
+
+TEST(BankTest, DeratingStretchesTiming) {
+  Bank nominal{timing()};
+  Bank derated{timing()};
+  const auto a = nominal.schedule(Time::zero(), AccessKind::kRead, 1.0);
+  const auto b = derated.schedule(Time::zero(), AccessKind::kRead, 0.8);
+  EXPECT_NEAR((b.complete - Time::zero()).as_ns(), (a.complete - Time::zero()).as_ns() / 0.8,
+              0.01);
+}
+
+TEST(BankTest, ZeroScaleThrows) {
+  Bank bank{timing()};
+  EXPECT_THROW(bank.schedule(Time::zero(), AccessKind::kRead, 0.0), ConfigError);
+}
+
+TEST(BankTest, BusyTimeAccumulates) {
+  Bank bank{timing()};
+  (void)bank.schedule(Time::zero(), AccessKind::kRead);
+  (void)bank.schedule(Time::zero(), AccessKind::kRead);
+  EXPECT_NEAR(bank.busy_time().as_ns(), 2 * 41.25, 0.01);
+}
+
+// Property: throughput of a saturated bank equals 1 access per bank cycle,
+// for every access kind and derating level.
+struct BankSweep {
+  AccessKind kind;
+  double scale;
+};
+
+class BankThroughput : public ::testing::TestWithParam<BankSweep> {};
+
+TEST_P(BankThroughput, SaturatedRateMatchesCycle) {
+  const auto [kind, scale] = GetParam();
+  Bank bank{timing()};
+  constexpr int kAccesses = 100;
+  Time last_free = Time::zero();
+  for (int i = 0; i < kAccesses; ++i) {
+    last_free = bank.schedule(Time::zero(), kind, scale).bank_free;
+  }
+  Bank one{timing()};
+  const Time single = one.schedule(Time::zero(), kind, scale).bank_free;
+  EXPECT_NEAR(last_free.as_ns(), single.as_ns() * kAccesses, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndScales, BankThroughput,
+    ::testing::Values(BankSweep{AccessKind::kRead, 1.0}, BankSweep{AccessKind::kWrite, 1.0},
+                      BankSweep{AccessKind::kPimRmw, 1.0}, BankSweep{AccessKind::kRead, 0.8},
+                      BankSweep{AccessKind::kPimRmw, 0.64}));
+
+}  // namespace
+}  // namespace coolpim::hmc

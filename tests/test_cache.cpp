@@ -1,0 +1,102 @@
+// Tests for the set-associative LRU cache model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "gpu/cache.hpp"
+
+namespace coolpim::gpu {
+namespace {
+
+TEST(CacheTest, Geometry) {
+  const Cache c{1024 * 1024, 16, 64};
+  EXPECT_EQ(c.num_sets(), 1024u);
+  EXPECT_EQ(c.ways(), 16u);
+  EXPECT_EQ(c.line_bytes(), 64u);
+}
+
+TEST(CacheTest, InvalidGeometryThrows) {
+  EXPECT_THROW((Cache{1000, 16, 64}), ConfigError);         // not a whole set count
+  EXPECT_THROW((Cache{0, 1, 64}), ConfigError);             // empty cache
+  EXPECT_THROW((Cache{3 * 16 * 64, 16, 64}), ConfigError);  // sets not a power of two
+  EXPECT_THROW((Cache{1024, 0, 64}), ConfigError);          // zero ways
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c{16 * 1024, 4, 64};
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1020));  // same 64-byte line
+  EXPECT_FALSE(c.access(0x1040));  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheTest, LruEviction) {
+  // Direct construction of a tiny 2-way, 1-set cache: capacity = 2 lines.
+  Cache c{2 * 64, 2, 64};
+  ASSERT_EQ(c.num_sets(), 1u);
+  c.access(0 * 64);
+  c.access(1 * 64);
+  c.access(0 * 64);      // touch line 0: line 1 becomes LRU
+  c.access(2 * 64);      // evicts line 1
+  EXPECT_TRUE(c.contains(0 * 64));
+  EXPECT_FALSE(c.contains(1 * 64));
+  EXPECT_TRUE(c.contains(2 * 64));
+}
+
+TEST(CacheTest, ContainsDoesNotDisturbState) {
+  Cache c{2 * 64, 2, 64};
+  c.access(0 * 64);
+  c.access(1 * 64);
+  // Probing 0 must NOT refresh its recency.
+  EXPECT_TRUE(c.contains(0 * 64));
+  c.access(2 * 64);  // LRU is line 0
+  EXPECT_FALSE(c.contains(0 * 64));
+}
+
+TEST(CacheTest, FlushEmptiesEverything) {
+  Cache c{16 * 1024, 4, 64};
+  c.access(0x40);
+  c.flush();
+  EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(CacheTest, WorkingSetSmallerThanCapacityAllHits) {
+  Cache c{64 * 1024, 16, 64};
+  // 32 KB working set inside a 64 KB cache: second sweep all hits.
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 64) c.access(a);
+  c.reset_stats();
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 64) c.access(a);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 1.0);
+}
+
+TEST(CacheTest, StreamingNeverHits) {
+  Cache c{16 * 1024, 4, 64};
+  for (std::uint64_t a = 0; a < 4 * 1024 * 1024; a += 64) c.access(a);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+// Property: for uniform random accesses over a footprint F with cache size C,
+// the steady hit rate approaches min(1, C/F).
+class RandomHitRate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomHitRate, MatchesCapacityRatio) {
+  const std::uint64_t footprint = GetParam();
+  const std::uint64_t capacity = 64 * 1024;
+  Cache c{capacity, 16, 64};
+  Rng rng{footprint};
+  for (int i = 0; i < 50000; ++i) c.access(rng.next_below(footprint));
+  c.reset_stats();
+  for (int i = 0; i < 200000; ++i) c.access(rng.next_below(footprint));
+  const double expected = std::min(1.0, static_cast<double>(capacity) / footprint);
+  EXPECT_NEAR(c.hit_rate(), expected, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, RandomHitRate,
+                         ::testing::Values(32u * 1024, 128u * 1024, 512u * 1024,
+                                           2048u * 1024));
+
+}  // namespace
+}  // namespace coolpim::gpu

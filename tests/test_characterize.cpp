@@ -1,0 +1,89 @@
+// Tests for the workload characterizer (logical counts -> transactions).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "gpu/characterize.hpp"
+
+namespace coolpim::gpu {
+namespace {
+
+TEST(CacheHitModelTest, SmallFootprintMostlyHits) {
+  const GpuConfig cfg;
+  const CacheHitModel model{cfg, 256 * 1024};  // fits in the 1 MB L2
+  EXPECT_GT(model.random_hit_rate(), 0.95);
+}
+
+TEST(CacheHitModelTest, LargeFootprintMostlyMisses) {
+  const GpuConfig cfg;
+  const CacheHitModel model{cfg, 64ull * 1024 * 1024};
+  EXPECT_LT(model.random_hit_rate(), 0.05);
+}
+
+TEST(CacheHitModelTest, MonotoneInFootprint) {
+  const GpuConfig cfg;
+  double prev = 1.1;
+  for (const std::uint64_t mb : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+    const CacheHitModel model{cfg, mb * 1024 * 1024};
+    EXPECT_LE(model.random_hit_rate(), prev + 0.02);
+    prev = model.random_hit_rate();
+  }
+}
+
+TEST(CacheHitModelTest, StreamsNeverHit) {
+  const GpuConfig cfg;
+  const CacheHitModel model{cfg, 1024};
+  EXPECT_DOUBLE_EQ(model.stream_hit_rate(), 0.0);
+}
+
+TEST(CacheHitModelTest, ZeroFootprintThrows) {
+  const GpuConfig cfg;
+  EXPECT_THROW((CacheHitModel{cfg, 0}), ConfigError);
+}
+
+TEST(CharacterizeTest, StreamingBytesBecomeLineTransactions) {
+  const GpuConfig cfg;
+  const CacheHitModel cache{cfg, 64ull * 1024 * 1024};  // ~0 hit rate
+  graph::IterationProfile it;
+  it.struct_scan_bytes = 64 * 1000;
+  const auto d = characterize(it, cache);
+  EXPECT_NEAR(d.read_txns, 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.write_txns, 0.0);
+  EXPECT_DOUBLE_EQ(d.atomic_ops, 0.0);
+}
+
+TEST(CharacterizeTest, PropertyReadsFilteredByHitRate) {
+  const GpuConfig cfg;
+  const CacheHitModel big{cfg, 64ull * 1024 * 1024};
+  const CacheHitModel small{cfg, 128 * 1024};
+  graph::IterationProfile it;
+  it.property_reads = 10000;
+  const auto cold = characterize(it, big);
+  const auto warm = characterize(it, small);
+  EXPECT_GT(cold.read_txns, 0.9 * 10000);
+  EXPECT_LT(warm.read_txns, 0.2 * 10000);
+}
+
+TEST(CharacterizeTest, AtomicsBypassCache) {
+  // GraphPIM policy: PIM-target data lives in an uncacheable region, so the
+  // atomic count passes through regardless of cache size.
+  const GpuConfig cfg;
+  const CacheHitModel small{cfg, 64 * 1024};
+  graph::IterationProfile it;
+  it.atomic_ops = 4242;
+  const auto d = characterize(it, small);
+  EXPECT_DOUBLE_EQ(d.atomic_ops, 4242.0);
+  EXPECT_DOUBLE_EQ(d.read_txns, 0.0);
+}
+
+TEST(CharacterizeTest, WritesScaleWithMissRate) {
+  const GpuConfig cfg;
+  const CacheHitModel cold{cfg, 64ull * 1024 * 1024};
+  graph::IterationProfile it;
+  it.property_writes = 5000;
+  const auto d = characterize(it, cold);
+  EXPECT_GT(d.write_txns, 0.9 * 5000);
+}
+
+}  // namespace
+}  // namespace coolpim::gpu

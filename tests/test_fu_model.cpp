@@ -1,0 +1,121 @@
+// Tests for the functional PIM FU model: HMC 2.0 atomic semantics, including
+// equivalence with the CUDA-atomic path the shadow kernels take.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "hmc/fu_model.hpp"
+
+namespace coolpim::hmc {
+namespace {
+
+Operand128 op128(std::uint64_t lo, std::uint64_t hi = 0) { return {lo, hi}; }
+
+TEST(FuModelTest, SignedAdd8) {
+  const auto r = fu_execute(PimOpcode::kSignedAdd8, op128(40), op128(2));
+  EXPECT_EQ(r.new_value.lo, 42u);
+  EXPECT_EQ(r.old_value.lo, 40u);
+  EXPECT_TRUE(r.atomic_success);
+  // Negative immediates via two's complement.
+  EXPECT_EQ(fu_add64(10, -3), 7);
+  EXPECT_EQ(fu_add64(-10, -3), -13);
+}
+
+TEST(FuModelTest, SignedAdd8Wraps) {
+  const auto r = fu_execute(PimOpcode::kSignedAdd8, op128(~0ull), op128(1));
+  EXPECT_EQ(r.new_value.lo, 0u);
+}
+
+TEST(FuModelTest, DualAdd16) {
+  const auto r = fu_execute(PimOpcode::kSignedAdd16, op128(1, 2), op128(10, 20));
+  EXPECT_EQ(r.new_value.lo, 11u);
+  EXPECT_EQ(r.new_value.hi, 22u);
+}
+
+TEST(FuModelTest, SwapReplacesAndReturnsOld) {
+  const auto r = fu_execute(PimOpcode::kSwap, op128(0xAA, 0xBB), op128(0x11, 0x22));
+  EXPECT_EQ(r.new_value, op128(0x11, 0x22));
+  EXPECT_EQ(r.old_value, op128(0xAA, 0xBB));
+}
+
+TEST(FuModelTest, BitWriteMasks) {
+  // data = 0b1010, mask = 0b1100: write the top two bits only.
+  const auto r = fu_execute(PimOpcode::kBitWrite, op128(0b0101), op128(0b1010, 0b1100));
+  EXPECT_EQ(r.new_value.lo, 0b1001u);
+}
+
+TEST(FuModelTest, BooleanOps) {
+  EXPECT_EQ(fu_execute(PimOpcode::kAnd, op128(0b1100, 0xF0), op128(0b1010, 0x0F)).new_value,
+            op128(0b1000, 0x00));
+  EXPECT_EQ(fu_execute(PimOpcode::kOr, op128(0b1100, 0xF0), op128(0b1010, 0x0F)).new_value,
+            op128(0b1110, 0xFF));
+}
+
+TEST(FuModelTest, CasEqual) {
+  // Compare memory.lo against imm.hi; swap in imm.lo on a match.
+  const auto hit = fu_execute(PimOpcode::kCasEqual, op128(7), op128(99, 7));
+  EXPECT_TRUE(hit.atomic_success);
+  EXPECT_EQ(hit.new_value.lo, 99u);
+  const auto miss = fu_execute(PimOpcode::kCasEqual, op128(8), op128(99, 7));
+  EXPECT_FALSE(miss.atomic_success);
+  EXPECT_EQ(miss.new_value.lo, 8u);  // unchanged
+}
+
+TEST(FuModelTest, CasGreaterActsAsAtomicMax) {
+  const auto up = fu_execute(PimOpcode::kCasGreater, op128(5), op128(9));
+  EXPECT_TRUE(up.atomic_success);
+  EXPECT_EQ(up.new_value.lo, 9u);
+  const auto keep = fu_execute(PimOpcode::kCasGreater, op128(9), op128(5));
+  EXPECT_FALSE(keep.atomic_success);
+  EXPECT_EQ(keep.new_value.lo, 9u);
+  // Signed comparison.
+  const auto neg = fu_execute(PimOpcode::kCasGreater,
+                              op128(static_cast<std::uint64_t>(-5)), op128(1));
+  EXPECT_TRUE(neg.atomic_success);
+}
+
+TEST(FuModelTest, FpAddAndMin) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const auto val = [](std::uint64_t b) { return std::bit_cast<double>(b); };
+  const auto add = fu_execute(PimOpcode::kFpAdd, op128(bits(1.5)), op128(bits(2.25)));
+  EXPECT_DOUBLE_EQ(val(add.new_value.lo), 3.75);
+  const auto mn = fu_execute(PimOpcode::kFpMin, op128(bits(4.0)), op128(bits(2.0)));
+  EXPECT_DOUBLE_EQ(val(mn.new_value.lo), 2.0);
+}
+
+// Property: an FP-min reduction through the FU matches the host-side fold
+// (the shadow kernel's atomicMin path), element order notwithstanding.
+class FuReductionEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuReductionEquivalence, FpMinMatchesHostFold) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const auto val = [](std::uint64_t b) { return std::bit_cast<double>(b); };
+  const double inputs[] = {5.0, -2.5, 7.75, 0.0, -2.5, 11.0};
+  // PIM path.
+  Operand128 mem = op128(bits(1e300));
+  for (const double x : inputs) {
+    mem = fu_execute(PimOpcode::kFpMin, mem, op128(bits(x))).new_value;
+  }
+  // Host path.
+  double host = 1e300;
+  for (const double x : inputs) host = std::min(host, x);
+  EXPECT_DOUBLE_EQ(val(mem.lo), host);
+  (void)GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuReductionEquivalence, ::testing::Values(1u, 2u));
+
+// Property: add is commutative and associative over any op sequence
+// (integer wrap-around semantics), so racy PIM update order cannot change
+// the final sum -- the reason GraphBIG's atomics tolerate races.
+TEST(FuModelTest, AddOrderIndependence) {
+  const std::int64_t deltas[] = {5, -3, 100, -42, 7};
+  std::int64_t forward = 0, backward = 0;
+  for (const auto d : deltas) forward = fu_add64(forward, d);
+  for (int i = 4; i >= 0; --i) backward = fu_add64(backward, deltas[i]);
+  EXPECT_EQ(forward, backward);
+}
+
+}  // namespace
+}  // namespace coolpim::hmc

@@ -1,0 +1,111 @@
+// Tests for the synthetic graph generators.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generator.hpp"
+
+namespace coolpim::graph {
+namespace {
+
+TEST(RmatTest, SizeMatchesParameters) {
+  const CsrGraph g = make_rmat(12, 8, 7);
+  EXPECT_EQ(g.num_vertices(), 1u << 12);
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(8) << 12);
+  EXPECT_TRUE(g.has_weights());
+}
+
+TEST(RmatTest, DeterministicForSeed) {
+  const CsrGraph a = make_rmat(10, 4, 99);
+  const CsrGraph b = make_rmat(10, 4, 99);
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+}
+
+TEST(RmatTest, SeedsProduceDifferentGraphs) {
+  const CsrGraph a = make_rmat(10, 4, 1);
+  const CsrGraph b = make_rmat(10, 4, 2);
+  EXPECT_NE(a.col_idx(), b.col_idx());
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  // Power-law-ish: max degree far above the mean.
+  const CsrGraph g = make_rmat(14, 16, 3);
+  EXPECT_GT(g.max_degree(), static_cast<std::uint32_t>(10.0 * g.mean_degree()));
+}
+
+TEST(RmatTest, UnweightedOption) {
+  RmatParams p;
+  p.weighted = false;
+  const CsrGraph g = make_rmat(8, 4, 5, p);
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(RmatTest, InvalidProbabilitiesThrow) {
+  RmatParams p;
+  p.a = 0.8;
+  p.b = 0.2;
+  p.c = 0.2;  // a+b+c > 1
+  EXPECT_THROW(make_rmat(8, 4, 5, p), ConfigError);
+  EXPECT_THROW(make_rmat(0, 4, 5), ConfigError);
+}
+
+TEST(RmatTest, WeightsInRange) {
+  RmatParams p;
+  p.max_weight = 16;
+  const CsrGraph g = make_rmat(10, 4, 9, p);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const auto w : g.edge_weights(v)) {
+      EXPECT_GE(w, 1u);
+      EXPECT_LE(w, 16u);
+    }
+  }
+}
+
+TEST(UniformTest, SizeAndSpread) {
+  const CsrGraph g = make_uniform(1000, 8000, 4);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_EQ(g.num_edges(), 8000u);
+  // Uniform graphs have a tight degree distribution compared to RMAT.
+  EXPECT_LT(g.max_degree(), 40u);
+}
+
+TEST(GridTest, RegularDegrees) {
+  const CsrGraph g = make_grid(8, 8);
+  EXPECT_EQ(g.num_vertices(), 64u);
+  EXPECT_EQ(g.num_edges(), 256u);  // 4 per vertex (torus)
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.out_degree(v), 4u);
+}
+
+TEST(GridTest, InvalidDimensionsThrow) {
+  EXPECT_THROW(make_grid(0, 4), ConfigError);
+}
+
+TEST(LdbcLikeTest, EdgeFactorSixteen) {
+  const CsrGraph g = make_ldbc_like(10, 1);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 16u * 1024u);
+  EXPECT_TRUE(g.has_weights());
+}
+
+// Property: vertex-ID scrambling spreads high-degree vertices across the ID
+// space (no front-loading), checked via the hub position.
+TEST(RmatTest, ScrambleSpreadsHubs) {
+  const CsrGraph g = make_rmat(12, 8, 21);
+  VertexId hub = 0;
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > best) {
+      best = g.out_degree(v);
+      hub = v;
+    }
+  }
+  // With scrambling the hub is almost surely not vertex 0.
+  EXPECT_NE(hub, 0u);
+}
+
+}  // namespace
+}  // namespace coolpim::graph

@@ -1,0 +1,93 @@
+// Tests for the kernel IR and the offload / shadow compilation passes.
+#include <gtest/gtest.h>
+
+#include "core/kernel_ir.hpp"
+
+namespace coolpim::core {
+namespace {
+
+KernelIr sample_kernel() {
+  KernelIr k;
+  k.name = "bfs_kernel";
+  k.ops = {
+      {OpKind::kCompute, MemSpace::kGlobal, {}, {}},
+      {OpKind::kLoad, MemSpace::kGlobal, {}, {}},
+      {OpKind::kCudaAtomic, MemSpace::kPimRegion, CudaAtomic::kAtomicMin, {}},
+      {OpKind::kCudaAtomic, MemSpace::kShared, CudaAtomic::kAtomicAdd, {}},
+      {OpKind::kStore, MemSpace::kGlobal, {}, {}},
+      {OpKind::kCudaAtomic, MemSpace::kPimRegion, CudaAtomic::kAtomicAdd, {}},
+  };
+  return k;
+}
+
+TEST(KernelIrTest, OffloadPassRewritesOnlyPimRegionAtomics) {
+  const KernelIr pim = offload_pass(sample_kernel());
+  EXPECT_EQ(pim.count(OpKind::kPimAtomic), 2u);
+  EXPECT_EQ(pim.count(OpKind::kCudaAtomic), 1u);  // the shared-memory atomic
+  EXPECT_EQ(pim.count(OpKind::kCompute), 1u);
+  EXPECT_EQ(pim.ops[2].pim, to_pim(CudaAtomic::kAtomicMin));
+  EXPECT_EQ(pim.ops[5].pim, to_pim(CudaAtomic::kAtomicAdd));
+}
+
+TEST(KernelIrTest, ShadowPassProducesPimFreeKernel) {
+  const KernelIr pim = offload_pass(sample_kernel());
+  const KernelIr shadow = shadow_pass(pim);
+  EXPECT_TRUE(shadow.is_pim_free());
+  EXPECT_EQ(shadow.name, "bfs_kernel_np");
+  EXPECT_EQ(shadow.ops.size(), pim.ops.size());
+}
+
+TEST(KernelIrTest, ShadowOfOffloadIsEquivalentToOriginal) {
+  // The paper's claim: the mappings are simple source-to-source translations,
+  // so the shadow kernel computes the same thing as the original.
+  const KernelIr original = sample_kernel();
+  const KernelIr pim = offload_pass(original);
+  const KernelIr shadow = shadow_pass(pim);
+  EXPECT_TRUE(equivalent(original, pim));
+  EXPECT_TRUE(equivalent(original, shadow));
+  EXPECT_TRUE(equivalent(pim, shadow));
+}
+
+TEST(KernelIrTest, EquivalenceRejectsRealDifferences) {
+  KernelIr a = sample_kernel();
+  KernelIr b = sample_kernel();
+  b.ops[0].kind = OpKind::kLoad;  // compute -> load
+  EXPECT_FALSE(equivalent(a, b));
+  b = sample_kernel();
+  b.ops[2].cuda = CudaAtomic::kAtomicAdd;  // comparison family -> arithmetic
+  EXPECT_FALSE(equivalent(a, b));
+  b = sample_kernel();
+  b.ops.pop_back();
+  EXPECT_FALSE(equivalent(a, b));
+  b = sample_kernel();
+  b.ops[3].space = MemSpace::kGlobal;
+  EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(KernelIrTest, OffloadableAtomicCountForEq1) {
+  const KernelIr original = sample_kernel();
+  EXPECT_EQ(offloadable_atomics(original), 2u);
+  // Counting is stable across the compilation passes.
+  EXPECT_EQ(offloadable_atomics(offload_pass(original)), 2u);
+}
+
+TEST(KernelIrTest, PimFreeKernelUntouchedByShadowPass) {
+  KernelIr k;
+  k.name = "saxpy";
+  k.ops = {{OpKind::kLoad, MemSpace::kGlobal, {}, {}},
+           {OpKind::kCompute, MemSpace::kGlobal, {}, {}},
+           {OpKind::kStore, MemSpace::kGlobal, {}, {}}};
+  const KernelIr shadow = shadow_pass(k);
+  EXPECT_TRUE(equivalent(k, shadow));
+  EXPECT_EQ(shadow.count(OpKind::kCudaAtomic), 0u);
+}
+
+TEST(KernelIrTest, DoubleOffloadIsIdempotent) {
+  const KernelIr once = offload_pass(sample_kernel());
+  const KernelIr twice = offload_pass(once);
+  EXPECT_EQ(once.count(OpKind::kPimAtomic), twice.count(OpKind::kPimAtomic));
+  EXPECT_TRUE(equivalent(once, twice));
+}
+
+}  // namespace
+}  // namespace coolpim::core

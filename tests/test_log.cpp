@@ -1,0 +1,65 @@
+// Tests for the leveled logger.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace coolpim {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string message;
+};
+
+TEST(LoggerTest, ThresholdFilters) {
+  Logger logger{LogLevel::kWarn};
+  std::vector<Captured> seen;
+  logger.set_sink([&](LogLevel level, const std::string& msg) {
+    seen.push_back({level, msg});
+  });
+  logger.debug("not shown");
+  logger.info("not shown either");
+  logger.warn("warned");
+  logger.error("errored");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].level, LogLevel::kWarn);
+  EXPECT_EQ(seen[0].message, "warned");
+  EXPECT_EQ(seen[1].level, LogLevel::kError);
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  Logger logger{LogLevel::kOff};
+  int count = 0;
+  logger.set_sink([&](LogLevel, const std::string&) { ++count; });
+  logger.error("even errors");
+  EXPECT_EQ(count, 0);
+}
+
+TEST(LoggerTest, VariadicFormatting) {
+  Logger logger{LogLevel::kInfo};
+  std::string last;
+  logger.set_sink([&](LogLevel, const std::string& msg) { last = msg; });
+  logger.info("temp=", 85.5, " C at epoch ", 42);
+  EXPECT_EQ(last, "temp=85.5 C at epoch 42");
+}
+
+TEST(LoggerTest, EnabledCheck) {
+  Logger logger{LogLevel::kInfo};
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_threshold(LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kWarn));
+  EXPECT_EQ(logger.threshold(), LogLevel::kError);
+}
+
+TEST(LoggerTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace coolpim

@@ -1,0 +1,80 @@
+// Tests for the multi-cube extension.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sys/multi_cube.hpp"
+
+namespace coolpim::sys {
+namespace {
+
+class MultiCubeFixture : public ::testing::Test {
+ protected:
+  static const WorkloadSet& workloads() {
+    static const WorkloadSet set{16, 1};
+    return set;
+  }
+
+  static MultiCubeResult run(std::size_t cubes, double skew, Scenario scenario) {
+    MultiCubeConfig cfg;
+    cfg.cubes = cubes;
+    cfg.atomic_skew = skew;
+    cfg.base.scenario = scenario;
+    MultiCubeSystem system{cfg};
+    return system.run(workloads().profile("dc"));
+  }
+};
+
+TEST_F(MultiCubeFixture, MoreCubesMoreBandwidth) {
+  // Balanced striping: doubling cubes roughly halves the memory-bound time.
+  const auto one = run(1, 1.0, Scenario::kIdealThermal);
+  const auto two = run(2, 0.5, Scenario::kIdealThermal);
+  const auto four = run(4, 0.25, Scenario::kIdealThermal);
+  EXPECT_LT(two.aggregate.exec_time, one.aggregate.exec_time);
+  // Beyond two cubes the GPU side (issue/latency) may already bound the run.
+  EXPECT_LE(four.aggregate.exec_time, two.aggregate.exec_time);
+}
+
+TEST_F(MultiCubeFixture, SkewConcentratesPimOnCubeZero) {
+  const auto r = run(4, 0.7, Scenario::kNaiveOffloading);
+  ASSERT_EQ(r.pim_share.size(), 4u);
+  EXPECT_NEAR(r.pim_share[0], 0.7, 0.02);
+  EXPECT_NEAR(r.pim_share[1], 0.1, 0.02);
+  // The hub cube runs hotter than the others.
+  EXPECT_GT(r.peak_dram_temps[0].value(), r.peak_dram_temps[1].value());
+}
+
+TEST_F(MultiCubeFixture, SkewedNaiveHotterThanBalanced) {
+  const auto balanced = run(4, 0.25, Scenario::kNaiveOffloading);
+  const auto skewed = run(4, 0.85, Scenario::kNaiveOffloading);
+  EXPECT_GT(skewed.aggregate.peak_dram_temp.value(),
+            balanced.aggregate.peak_dram_temp.value());
+}
+
+TEST_F(MultiCubeFixture, CoolPimCoolsTheHottestCube) {
+  // Both scenarios start from the naive-sustained warm state (so the peaks
+  // coincide); the throttled run must END cooler on the hub cube.
+  const auto naive = run(2, 0.8, Scenario::kNaiveOffloading);
+  const auto coolpim = run(2, 0.8, Scenario::kCoolPimHw);
+  ASSERT_EQ(coolpim.final_dram_temps.size(), 2u);
+  EXPECT_LT(coolpim.final_dram_temps[0].value(), naive.final_dram_temps[0].value());
+  EXPECT_LT(coolpim.aggregate.avg_pim_rate_op_per_ns(),
+            naive.aggregate.avg_pim_rate_op_per_ns());
+}
+
+TEST_F(MultiCubeFixture, SingleCubeDegeneratesToBalanced) {
+  const auto r = run(1, 1.0, Scenario::kNaiveOffloading);
+  ASSERT_EQ(r.pim_share.size(), 1u);
+  EXPECT_NEAR(r.pim_share[0], 1.0, 1e-9);
+}
+
+TEST(MultiCubeConfigTest, Validation) {
+  MultiCubeConfig cfg;
+  cfg.cubes = 0;
+  EXPECT_THROW(MultiCubeSystem{cfg}, ConfigError);
+  cfg.cubes = 2;
+  cfg.atomic_skew = 1.5;
+  EXPECT_THROW(MultiCubeSystem{cfg}, ConfigError);
+}
+
+}  // namespace
+}  // namespace coolpim::sys

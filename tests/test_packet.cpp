@@ -1,0 +1,57 @@
+// Tests for the FLIT/packet model -- reproduces paper Table I exactly.
+#include <gtest/gtest.h>
+
+#include "hmc/packet.hpp"
+
+namespace coolpim::hmc {
+namespace {
+
+TEST(FlitCostTest, TableOne) {
+  EXPECT_EQ(flit_cost(TransactionType::kRead64).request, 1u);
+  EXPECT_EQ(flit_cost(TransactionType::kRead64).response, 5u);
+  EXPECT_EQ(flit_cost(TransactionType::kWrite64).request, 5u);
+  EXPECT_EQ(flit_cost(TransactionType::kWrite64).response, 1u);
+  EXPECT_EQ(flit_cost(TransactionType::kPimNoReturn).request, 2u);
+  EXPECT_EQ(flit_cost(TransactionType::kPimNoReturn).response, 1u);
+  EXPECT_EQ(flit_cost(TransactionType::kPimWithReturn).request, 2u);
+  EXPECT_EQ(flit_cost(TransactionType::kPimWithReturn).response, 2u);
+}
+
+TEST(FlitCostTest, PimSavesUpToHalfTheFlits) {
+  // Paper Section II-B: a 64-byte READ/WRITE pair consumes 6 FLITs while a
+  // PIM op needs 3-4, so offloading can save up to 50% of link bandwidth.
+  const auto read = flit_cost(TransactionType::kRead64).total();
+  const auto pim = flit_cost(TransactionType::kPimNoReturn).total();
+  EXPECT_EQ(read, 6u);
+  EXPECT_EQ(pim, 3u);
+  EXPECT_LE(pim * 2, read * 1 + 0u);
+}
+
+TEST(FlitCostTest, TotalBytes) {
+  EXPECT_EQ(flit_cost(TransactionType::kRead64).total_bytes(), 6u * 16u);
+  EXPECT_EQ(flit_cost(TransactionType::kPimWithReturn).total_bytes(), 4u * 16u);
+}
+
+TEST(PayloadTest, Bytes) {
+  EXPECT_EQ(payload_bytes(TransactionType::kRead64), 64u);
+  EXPECT_EQ(payload_bytes(TransactionType::kWrite64), 64u);
+  EXPECT_EQ(payload_bytes(TransactionType::kPimNoReturn), 0u);
+  EXPECT_EQ(payload_bytes(TransactionType::kPimWithReturn), 16u);
+}
+
+TEST(PacketTest, FlitSizeIs128Bits) { EXPECT_EQ(kFlitBytes, 16u); }
+
+TEST(PacketTest, ErrStatThermalWarningValue) {
+  // HMC sets ERRSTAT[6:0] = 0x01 when the operational temperature limit is
+  // exceeded (paper Section II-A).
+  EXPECT_EQ(static_cast<int>(ErrStat::kThermalWarning), 0x01);
+  EXPECT_EQ(static_cast<int>(ErrStat::kOk), 0x00);
+}
+
+TEST(PacketTest, Names) {
+  EXPECT_EQ(to_string(TransactionType::kRead64), "64-byte READ");
+  EXPECT_EQ(to_string(TransactionType::kPimNoReturn), "PIM inst. without return");
+}
+
+}  // namespace
+}  // namespace coolpim::hmc

@@ -1,0 +1,63 @@
+// Tests for the WorkloadProfile aggregate math the Eq. 1 inputs rely on.
+#include <gtest/gtest.h>
+
+#include "graph/profile.hpp"
+
+namespace coolpim::graph {
+namespace {
+
+WorkloadProfile two_iteration_profile() {
+  WorkloadProfile p;
+  p.name = "synthetic";
+  IterationProfile a;
+  a.edges_processed = 100;
+  a.atomic_ops = 50;
+  a.compute_warp_instructions = 1000;
+  a.work_threads = 320;
+  a.divergent_warp_ratio = 0.8;
+  IterationProfile b;
+  b.edges_processed = 300;
+  b.atomic_ops = 150;
+  b.compute_warp_instructions = 3000;
+  b.work_threads = 960;
+  b.divergent_warp_ratio = 0.2;
+  p.iterations = {a, b};
+  return p;
+}
+
+TEST(ProfileTest, Totals) {
+  const auto p = two_iteration_profile();
+  EXPECT_EQ(p.total_edges(), 400u);
+  EXPECT_EQ(p.total_atomics(), 200u);
+  EXPECT_EQ(p.total_warp_instructions(), 4000u);
+}
+
+TEST(ProfileTest, PimIntensityIsAtomicsPerInstruction) {
+  const auto p = two_iteration_profile();
+  EXPECT_DOUBLE_EQ(p.pim_intensity(), 200.0 / 4000.0);
+}
+
+TEST(ProfileTest, DivergenceIsWorkWeighted) {
+  const auto p = two_iteration_profile();
+  // (0.8*320 + 0.2*960) / (320+960) = 448/1280 = 0.35.
+  EXPECT_DOUBLE_EQ(p.divergence_ratio(), 0.35);
+}
+
+TEST(ProfileTest, EmptyProfileSafeDefaults) {
+  const WorkloadProfile p;
+  EXPECT_EQ(p.total_edges(), 0u);
+  EXPECT_DOUBLE_EQ(p.pim_intensity(), 0.0);
+  EXPECT_DOUBLE_EQ(p.divergence_ratio(), 0.0);
+}
+
+TEST(ProfileTest, ZeroWorkIterationIgnoredInDivergence) {
+  WorkloadProfile p;
+  IterationProfile it;
+  it.work_threads = 0;
+  it.divergent_warp_ratio = 1.0;
+  p.iterations = {it};
+  EXPECT_DOUBLE_EQ(p.divergence_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace coolpim::graph

@@ -1,0 +1,88 @@
+// Tests for the CSV writer and result export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "sys/report.hpp"
+
+namespace coolpim {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.row({"a", "b", "42"});
+  EXPECT_EQ(os.str(), "a,b,42\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvWriterTest, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(CsvWriterTest, NumPrecision) {
+  EXPECT_EQ(CsvWriter::num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::num(0.0), "0");
+}
+
+sys::RunResult sample_result() {
+  sys::RunResult r;
+  r.workload = "dc";
+  r.scenario = "CoolPIM (HW)";
+  r.exec_time = Time::ms(2.5);
+  r.link_data_bytes = 1e9;
+  r.pim_ops = 1000000;
+  r.peak_dram_temp = Celsius{84.5};
+  r.cube_energy_j = 0.1;
+  r.fan_energy_j = 0.01;
+  r.pim_rate.record(Time::ms(0), 1.0);
+  r.pim_rate.record(Time::ms(1), 2.0);
+  r.dram_temp.record(Time::ms(0), 80.0);
+  r.dram_temp.record(Time::ms(1), 84.0);
+  r.link_bw.record(Time::ms(0), 200.0);
+  r.link_bw.record(Time::ms(1), 250.0);
+  return r;
+}
+
+TEST(ReportTest, SummaryCsvShape) {
+  std::ostringstream os;
+  sys::write_summary_csv(os, {sample_result(), sample_result()});
+  const std::string out = os.str();
+  // Header + two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("workload,scenario,exec_ms"), std::string::npos);
+  EXPECT_NE(out.find("CoolPIM (HW)"), std::string::npos);
+  EXPECT_NE(out.find("84.5"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryQuotesScenarioOnlyWhenNeeded) {
+  std::ostringstream os;
+  sys::write_summary_csv(os, {sample_result()});
+  // "CoolPIM (HW)" has no comma, so it must NOT be quoted.
+  EXPECT_EQ(os.str().find("\"CoolPIM (HW)\""), std::string::npos);
+  EXPECT_NE(os.str().find("CoolPIM (HW)"), std::string::npos);
+}
+
+TEST(ReportTest, TimeseriesLongFormat) {
+  std::ostringstream os;
+  sys::write_timeseries_csv(os, {sample_result()});
+  const std::string out = os.str();
+  // Header + 2 samples.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("t_ms"), std::string::npos);
+  EXPECT_NE(out.find("dc,CoolPIM (HW),0,1,80,200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coolpim

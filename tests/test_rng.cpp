@@ -1,0 +1,110 @@
+// Tests for the deterministic random number generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace coolpim {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInInclusive) {
+  Rng rng{13};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.next_in(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformityChiSquareLoose) {
+  Rng rng{17};
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 15 dof; 99.9th percentile ~ 37.7.  Generous bound against flakiness.
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng{19};
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent{23};
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng{29};
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(SplitMixTest, KnownExpansion) {
+  SplitMix64 sm{0};
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2{0};
+  EXPECT_EQ(sm2.next(), a);
+}
+
+}  // namespace
+}  // namespace coolpim

@@ -1,0 +1,118 @@
+// Tests for counters, summaries and histograms.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace coolpim {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.record(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.last(), 9.0);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, WelfordMatchesNaiveOnRandomData) {
+  Rng rng{123};
+  Summary s;
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double() * 100.0;
+    xs.push_back(x);
+    s.record(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h{0.0, 10.0, 10};
+  h.record(0.5);
+  h.record(5.5);
+  h.record(-3.0);   // clamps to first bucket
+  h.record(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(HistogramTest, Percentile) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 49.0, 2.0);
+  EXPECT_NEAR(h.percentile(0.99), 98.0, 2.0);
+  EXPECT_LE(h.percentile(0.0), h.percentile(1.0));
+}
+
+TEST(HistogramTest, InvalidConfigThrows) {
+  EXPECT_THROW((Histogram{5.0, 5.0, 10}), ConfigError);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), ConfigError);
+}
+
+TEST(StatSetTest, NamedAccessAndReset) {
+  StatSet set;
+  set.counter("reads").add(7);
+  set.summary("latency").record(42.0);
+  EXPECT_EQ(set.counter_value("reads"), 7u);
+  EXPECT_EQ(set.counter_value("missing"), 0u);
+  EXPECT_EQ(set.summaries().at("latency").count(), 1u);
+  set.reset();
+  EXPECT_EQ(set.counter_value("reads"), 0u);
+  EXPECT_EQ(set.summaries().at("latency").count(), 0u);
+}
+
+// Property: percentiles are monotone in q for arbitrary data.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, Monotonic) {
+  Rng rng{GetParam()};
+  Histogram h{0.0, 1.0, 64};
+  for (int i = 0; i < 1000; ++i) h.record(rng.next_double());
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Values(1u, 2u, 3u, 42u, 999u));
+
+}  // namespace
+}  // namespace coolpim

@@ -1,0 +1,70 @@
+// Tests for the console table renderer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace coolpim {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t{"Demo"};
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t{"Align"};
+  t.header({"a", "bbbb"});
+  t.row({"xxxxxx", "1"});
+  const std::string out = t.to_string();
+  // Both the header row and the data row should have a pipe after the widest
+  // cell of each column; check all lines have the same length.
+  std::size_t len = 0;
+  std::size_t start = 0;
+  bool first = true;
+  while (start < out.size()) {
+    auto end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const auto line = out.substr(start, end - start);
+    if (!line.empty() && line[0] == '|') {
+      if (first) {
+        len = line.size();
+        first = false;
+      } else {
+        EXPECT_EQ(line.size(), len);
+      }
+    }
+    start = end + 1;
+  }
+  EXPECT_FALSE(first);
+}
+
+TEST(TableTest, MismatchedRowThrows) {
+  Table t{"Bad"};
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ConfigError);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::num(1.2345, 0), "1");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiBarTest, Scaling) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 4), "    ");
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 4), "####");  // clamps
+  EXPECT_TRUE(ascii_bar(1.0, 0.0, 4).empty());
+}
+
+}  // namespace
+}  // namespace coolpim

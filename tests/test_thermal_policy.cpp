@@ -1,0 +1,63 @@
+// Tests for the DRAM thermal operating policy (paper Table IV phases).
+#include <gtest/gtest.h>
+
+#include "hmc/thermal_policy.hpp"
+
+namespace coolpim::hmc {
+namespace {
+
+TEST(ThermalPolicyTest, PhaseBoundaries) {
+  const ThermalPolicy p;
+  EXPECT_EQ(p.phase(Celsius{25.0}), ThermalPhase::kNormal);
+  EXPECT_EQ(p.phase(Celsius{85.0}), ThermalPhase::kNormal);   // inclusive bound
+  EXPECT_EQ(p.phase(Celsius{85.1}), ThermalPhase::kExtended);
+  EXPECT_EQ(p.phase(Celsius{95.0}), ThermalPhase::kExtended);
+  EXPECT_EQ(p.phase(Celsius{95.1}), ThermalPhase::kCritical);
+  EXPECT_EQ(p.phase(Celsius{105.0}), ThermalPhase::kCritical);
+  EXPECT_EQ(p.phase(Celsius{105.1}), ThermalPhase::kShutdown);
+}
+
+TEST(ThermalPolicyTest, WarningBelowNormalLimit) {
+  const ThermalPolicy p;
+  EXPECT_LT(p.warning_threshold, p.normal_limit);
+  EXPECT_FALSE(p.warning(Celsius{80.0}));
+  EXPECT_TRUE(p.warning(Celsius{84.9}));
+}
+
+TEST(ThermalPolicyTest, ServiceScalesDecreaseWithPhase) {
+  const ThermalPolicy p;
+  EXPECT_DOUBLE_EQ(p.service_scale(ThermalPhase::kNormal), 1.0);
+  EXPECT_LT(p.service_scale(ThermalPhase::kExtended), 1.0);
+  EXPECT_LT(p.service_scale(ThermalPhase::kCritical),
+            p.service_scale(ThermalPhase::kExtended));
+  EXPECT_DOUBLE_EQ(p.service_scale(ThermalPhase::kShutdown), 0.0);
+}
+
+TEST(ThermalPolicyTest, ConservativeShutdownForPrototype) {
+  // The HMC 1.1 prototype stops completely near 95 C die temperature
+  // (paper Section III-A.2) instead of derating.
+  ThermalPolicy p;
+  p.conservative_shutdown = true;
+  EXPECT_EQ(p.phase(Celsius{94.0}), ThermalPhase::kExtended);
+  EXPECT_EQ(p.phase(Celsius{96.0}), ThermalPhase::kShutdown);
+}
+
+TEST(ThermalPolicyTest, PhaseNames) {
+  EXPECT_EQ(to_string(ThermalPhase::kNormal), "normal (0-85C)");
+  EXPECT_EQ(to_string(ThermalPhase::kShutdown), "shutdown");
+}
+
+// Property: phase is monotone non-decreasing in temperature.
+class PhaseMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhaseMonotone, MonotoneAcrossStep) {
+  const ThermalPolicy p;
+  const double t = GetParam();
+  EXPECT_LE(static_cast<int>(p.phase(Celsius{t})), static_cast<int>(p.phase(Celsius{t + 5.0})));
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, PhaseMonotone,
+                         ::testing::Values(20.0, 80.0, 84.9, 85.1, 94.9, 99.0, 104.9));
+
+}  // namespace
+}  // namespace coolpim::hmc

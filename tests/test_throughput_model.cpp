@@ -1,0 +1,133 @@
+// Tests for the analytic epoch-level HMC service model, including the
+// cross-check against the event-detailed device (DESIGN.md section 5).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "hmc/device.hpp"
+#include "hmc/throughput_model.hpp"
+
+namespace coolpim::hmc {
+namespace {
+
+TEST(ThroughputModelTest, UnderloadedServesEverything) {
+  const ThroughputModel model{hmc20_config()};
+  EpochDemand d;
+  d.reads = 1000.0;
+  const auto s = model.serve(d, Time::us(10), Celsius{50.0});
+  EXPECT_DOUBLE_EQ(s.served_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.reads, 1000.0);
+  EXPECT_EQ(s.phase, ThermalPhase::kNormal);
+}
+
+TEST(ThroughputModelTest, LinkBoundScalesProportionally) {
+  const ThroughputModel model{hmc20_config()};
+  EpochDemand d;
+  // 10 us at 30 GFLIT/s = 300k FLITs; demand 100k reads = 600k FLITs.
+  d.reads = 100000.0;
+  const auto s = model.serve(d, Time::us(10), Celsius{50.0});
+  EXPECT_NEAR(s.served_fraction, 0.5, 1e-6);
+  EXPECT_NEAR(s.link_data.as_gbps(), 320.0, 0.5);
+}
+
+TEST(ThroughputModelTest, MixedDemandScalesAllClasses) {
+  const ThroughputModel model{hmc20_config()};
+  EpochDemand d;
+  d.reads = 100000.0;
+  d.pim_ops = 50000.0;
+  const auto s = model.serve(d, Time::us(10), Celsius{50.0});
+  EXPECT_LT(s.served_fraction, 1.0);
+  EXPECT_NEAR(s.reads / s.pim_ops, 2.0, 1e-9);  // fair proportional scaling
+}
+
+TEST(ThroughputModelTest, DeratingThrottlesService) {
+  const ThroughputModel model{hmc20_config()};
+  EpochDemand d;
+  d.reads = 100000.0;
+  const auto cool = model.serve(d, Time::us(10), Celsius{60.0});
+  const auto hot = model.serve(d, Time::us(10), Celsius{90.0});
+  const auto hotter = model.serve(d, Time::us(10), Celsius{99.0});
+  EXPECT_LT(hot.served_fraction, cool.served_fraction);
+  EXPECT_LT(hotter.served_fraction, hot.served_fraction);
+  EXPECT_EQ(hot.phase, ThermalPhase::kExtended);
+  EXPECT_NEAR(hot.served_fraction / cool.served_fraction,
+              model.policy().extended_service_scale, 1e-6);
+}
+
+TEST(ThroughputModelTest, ShutdownServesNothing) {
+  const ThroughputModel model{hmc20_config()};
+  EpochDemand d;
+  d.reads = 100.0;
+  const auto s = model.serve(d, Time::us(10), Celsius{106.0});
+  EXPECT_TRUE(s.shut_down);
+  EXPECT_DOUBLE_EQ(s.served_fraction, 0.0);
+}
+
+TEST(ThroughputModelTest, InternalBandwidthCapBindsForPimFloods) {
+  HmcConfig cfg = hmc20_config();
+  cfg.internal_peak = Bandwidth::gbps(256.0);  // artificially low TSV budget
+  const ThroughputModel model{cfg};
+  EpochDemand d;
+  d.pim_ops = 50000.0;  // 5 op/ns over 10 us: 640 GB/s internal demanded
+  const auto s = model.serve(d, Time::us(10), Celsius{50.0});
+  EXPECT_NEAR(s.dram_internal.as_gbps(), 256.0, 1.0);
+  EXPECT_LT(s.served_fraction, 1.0);
+}
+
+TEST(ThroughputModelTest, ZeroEpochThrows) {
+  const ThroughputModel model{hmc20_config()};
+  EXPECT_THROW((void)model.serve(EpochDemand{}, Time::zero(), Celsius{50.0}), ConfigError);
+}
+
+// Integration cross-check: for a balanced read/write mix (where the pooled
+// FLIT budget of the analytic model matches the full-duplex links exactly)
+// the analytic model's saturated bandwidth matches the event-detailed device
+// within 15%.
+TEST(ThroughputCrossCheck, SaturatedBalancedMixMatchesDetailedDevice) {
+  // Detailed device, balanced mix.
+  sim::Simulation sim;
+  Device dev{sim, hmc20_config()};
+  constexpr int kPairs = 10000;
+  Time last;
+  for (int i = 0; i < kPairs; ++i) {
+    const auto addr = static_cast<std::uint64_t>(i) * 64;
+    dev.submit({TransactionType::kRead64, addr, 0}, [&](const Response&) { last = sim.now(); });
+    dev.submit({TransactionType::kWrite64, addr + 64 * 1024, 0},
+               [&](const Response&) { last = sim.now(); });
+  }
+  sim.run_to_completion();
+  const double detailed_gbps = kPairs * 128.0 / last.as_sec() * 1e-9;
+
+  // Analytic model, saturated balanced demand.
+  const ThroughputModel model{hmc20_config()};
+  EpochDemand d;
+  d.reads = 1e9;
+  d.writes = 1e9;
+  const auto s = model.serve(d, Time::ms(1), Celsius{50.0});
+  const double analytic_gbps = s.link_data.as_gbps();
+
+  EXPECT_NEAR(detailed_gbps, analytic_gbps, 0.15 * analytic_gbps);
+}
+
+// Property sweep: served fraction is monotone non-increasing in demand.
+class AdmissionMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdmissionMonotone, MoreDemandNoMoreService) {
+  const ThroughputModel model{hmc20_config()};
+  const double pim_share = GetParam();
+  double prev = 1.0;
+  for (double total = 1e4; total <= 1e6; total *= 2.0) {
+    EpochDemand d;
+    d.pim_ops = total * pim_share;
+    d.reads = total * (1.0 - pim_share);
+    const auto s = model.serve(d, Time::us(10), Celsius{50.0});
+    EXPECT_LE(s.served_fraction, prev + 1e-12);
+    prev = s.served_fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PimShares, AdmissionMonotone,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace coolpim::hmc

@@ -1,0 +1,74 @@
+// Tests for TimeSeries recording and sampling.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/timeseries.hpp"
+
+namespace coolpim {
+namespace {
+
+TEST(TimeSeriesTest, RecordAndAccess) {
+  TimeSeries ts{"pim_rate"};
+  EXPECT_TRUE(ts.empty());
+  ts.record(Time::ms(0), 1.0);
+  ts.record(Time::ms(1), 2.0);
+  ts.record(Time::ms(2), 3.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.name(), "pim_rate");
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 2.0);
+  EXPECT_EQ(ts.time_at(2), Time::ms(2));
+}
+
+TEST(TimeSeriesTest, OutOfOrderThrows) {
+  TimeSeries ts{"x"};
+  ts.record(Time::ms(5), 1.0);
+  EXPECT_THROW(ts.record(Time::ms(4), 2.0), SimError);
+  // Equal timestamps are allowed (same-epoch samples).
+  EXPECT_NO_THROW(ts.record(Time::ms(5), 3.0));
+}
+
+TEST(TimeSeriesTest, SampleAtZeroOrderHold) {
+  TimeSeries ts{"x"};
+  ts.record(Time::ms(1), 10.0);
+  ts.record(Time::ms(3), 20.0);
+  ts.record(Time::ms(5), 30.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(Time::ms(0)), 10.0);  // before first: clamp
+  EXPECT_DOUBLE_EQ(ts.sample_at(Time::ms(1)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(Time::ms(2)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(Time::ms(3)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(Time::ms(4.5)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(Time::ms(99)), 30.0);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMean) {
+  TimeSeries ts{"x"};
+  // Value 10 for 1 ms, then 30 for 3 ms: mean = (10*1 + 30*3) / 4 = 25.
+  ts.record(Time::ms(0), 10.0);
+  ts.record(Time::ms(1), 30.0);
+  ts.record(Time::ms(4), 0.0);  // terminal sample marks the span end
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 25.0);
+}
+
+TEST(TimeSeriesTest, SingleSampleMean) {
+  TimeSeries ts{"x"};
+  ts.record(Time::ms(1), 7.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 7.0);
+}
+
+TEST(TimeSeriesTest, Resample) {
+  TimeSeries ts{"x"};
+  ts.record(Time::ms(0), 1.0);
+  ts.record(Time::ms(2), 2.0);
+  ts.record(Time::ms(4), 3.0);
+  const auto grid = ts.resample(Time::ms(0), Time::ms(1), 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid[0], 1.0);
+  EXPECT_DOUBLE_EQ(grid[1], 1.0);
+  EXPECT_DOUBLE_EQ(grid[2], 2.0);
+  EXPECT_DOUBLE_EQ(grid[3], 2.0);
+  EXPECT_DOUBLE_EQ(grid[4], 3.0);
+}
+
+}  // namespace
+}  // namespace coolpim

@@ -1,0 +1,79 @@
+// Tests for the PIM <-> CUDA instruction translation (paper Table III).
+#include <gtest/gtest.h>
+
+#include "core/translate.hpp"
+
+namespace coolpim::core {
+namespace {
+
+using hmc::PimOpcode;
+
+TEST(TranslateTest, TableThreeRows) {
+  // Arithmetic: signed add -> atomicAdd.
+  EXPECT_EQ(to_cuda(PimOpcode::kSignedAdd8), CudaAtomic::kAtomicAdd);
+  EXPECT_EQ(to_cuda(PimOpcode::kSignedAdd16), CudaAtomic::kAtomicAdd);
+  // Bitwise: swap / bit write -> atomicExch.
+  EXPECT_EQ(to_cuda(PimOpcode::kSwap), CudaAtomic::kAtomicExch);
+  EXPECT_EQ(to_cuda(PimOpcode::kBitWrite), CudaAtomic::kAtomicExch);
+  // Boolean: AND/OR -> atomicAnd / atomicOr.
+  EXPECT_EQ(to_cuda(PimOpcode::kAnd), CudaAtomic::kAtomicAnd);
+  EXPECT_EQ(to_cuda(PimOpcode::kOr), CudaAtomic::kAtomicOr);
+  // Comparison: CAS-equal/greater -> atomicCAS / atomicMax.
+  EXPECT_EQ(to_cuda(PimOpcode::kCasEqual), CudaAtomic::kAtomicCAS);
+  EXPECT_EQ(to_cuda(PimOpcode::kCasGreater), CudaAtomic::kAtomicMax);
+}
+
+TEST(TranslateTest, GraphPimExtensions) {
+  EXPECT_EQ(to_cuda(PimOpcode::kFpAdd), CudaAtomic::kAtomicAdd);
+  EXPECT_EQ(to_cuda(PimOpcode::kFpMin), CudaAtomic::kAtomicMin);
+}
+
+TEST(TranslateTest, EveryCudaAtomicMapsToPim) {
+  // Compiler offload direction: all CUDA atomics used by the workloads have
+  // a PIM equivalent, so any kernel can be fully offloaded.
+  for (const auto op : {CudaAtomic::kAtomicAdd, CudaAtomic::kAtomicExch, CudaAtomic::kAtomicAnd,
+                        CudaAtomic::kAtomicOr, CudaAtomic::kAtomicCAS, CudaAtomic::kAtomicMax,
+                        CudaAtomic::kAtomicMin}) {
+    EXPECT_NO_THROW((void)to_pim(op));
+  }
+}
+
+TEST(TranslateTest, NamesAreCudaSpelling) {
+  EXPECT_EQ(to_string(CudaAtomic::kAtomicAdd), "atomicAdd");
+  EXPECT_EQ(to_string(CudaAtomic::kAtomicCAS), "atomicCAS");
+}
+
+// Property: round-tripping CUDA -> PIM -> CUDA stays within the same
+// semantic family (shadow-kernel generation then dynamic decode translation
+// must not change what the instruction does).
+class RoundTrip : public ::testing::TestWithParam<CudaAtomic> {};
+
+TEST_P(RoundTrip, StaysInFamily) {
+  const CudaAtomic original = GetParam();
+  const CudaAtomic back = to_cuda(to_pim(original));
+  EXPECT_TRUE(same_family(original, back))
+      << to_string(original) << " -> " << to_string(back);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAtomics, RoundTrip,
+                         ::testing::Values(CudaAtomic::kAtomicAdd, CudaAtomic::kAtomicExch,
+                                           CudaAtomic::kAtomicAnd, CudaAtomic::kAtomicOr,
+                                           CudaAtomic::kAtomicCAS, CudaAtomic::kAtomicMax,
+                                           CudaAtomic::kAtomicMin));
+
+// Property: PIM -> CUDA -> PIM preserves the PIM op class.
+class PimRoundTrip : public ::testing::TestWithParam<PimOpcode> {};
+
+TEST_P(PimRoundTrip, PreservesClass) {
+  const PimOpcode original = GetParam();
+  const PimOpcode back = to_pim(to_cuda(original));
+  EXPECT_EQ(hmc::classify(original), hmc::classify(back));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPimOps, PimRoundTrip,
+                         ::testing::Values(PimOpcode::kSignedAdd8, PimOpcode::kSwap,
+                                           PimOpcode::kAnd, PimOpcode::kOr,
+                                           PimOpcode::kCasEqual));
+
+}  // namespace
+}  // namespace coolpim::core

@@ -1,0 +1,115 @@
+// Unit tests for the strongly-typed quantity layer.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace coolpim {
+namespace {
+
+TEST(TimeTest, ConstructionAndConversion) {
+  EXPECT_EQ(Time::ns(1.0).as_ps(), 1000);
+  EXPECT_DOUBLE_EQ(Time::us(2.5).as_ns(), 2500.0);
+  EXPECT_DOUBLE_EQ(Time::ms(1.0).as_us(), 1000.0);
+  EXPECT_DOUBLE_EQ(Time::sec(1.0).as_ms(), 1000.0);
+  EXPECT_EQ(Time::zero().as_ps(), 0);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::ns(100);
+  const Time b = Time::ns(50);
+  EXPECT_EQ((a + b).as_ps(), 150000);
+  EXPECT_EQ((a - b).as_ps(), 50000);
+  EXPECT_EQ((a * 3).as_ps(), 300000);
+  EXPECT_EQ((3 * a).as_ps(), 300000);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_EQ((a / 4).as_ps(), 25000);
+  EXPECT_EQ((a * 0.5).as_ps(), 50000);
+}
+
+TEST(TimeTest, Comparison) {
+  EXPECT_LT(Time::ns(1), Time::ns(2));
+  EXPECT_EQ(Time::us(1), Time::ns(1000));
+  EXPECT_GT(Time::max(), Time::sec(1e6));
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = Time::ns(10);
+  t += Time::ns(5);
+  EXPECT_EQ(t, Time::ns(15));
+  t -= Time::ns(10);
+  EXPECT_EQ(t, Time::ns(5));
+}
+
+TEST(FrequencyTest, PeriodRoundTrip) {
+  const Frequency f = Frequency::ghz(1.4);
+  EXPECT_DOUBLE_EQ(f.as_ghz(), 1.4);
+  EXPECT_NEAR(f.period().as_ps(), 714.0, 1.0);
+  EXPECT_DOUBLE_EQ(Frequency::mhz(500).as_hz(), 5e8);
+}
+
+TEST(CelsiusTest, KelvinConversion) {
+  EXPECT_DOUBLE_EQ(Celsius{0.0}.as_kelvin(), 273.15);
+  EXPECT_DOUBLE_EQ(Celsius::from_kelvin(373.15).value(), 100.0);
+  EXPECT_DOUBLE_EQ(Celsius{85.0} - Celsius{25.0}, 60.0);
+  EXPECT_DOUBLE_EQ((Celsius{85.0} + 10.0).value(), 95.0);
+  EXPECT_DOUBLE_EQ((Celsius{85.0} - 10.0).value(), 75.0);
+  EXPECT_LT(Celsius{25.0}, Celsius{85.0});
+}
+
+TEST(PowerEnergyTest, CrossDomainOps) {
+  const Watts p{10.0};
+  const Time t = Time::ms(100);
+  const Joules e = p * t;
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+  EXPECT_DOUBLE_EQ((e / t).value(), 10.0);
+  EXPECT_DOUBLE_EQ((t * p).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Joules::pj(3.7).as_pj(), 3.7);
+}
+
+TEST(PowerTest, Arithmetic) {
+  Watts a{5.0};
+  a += Watts{2.0};
+  EXPECT_DOUBLE_EQ(a.value(), 7.0);
+  EXPECT_DOUBLE_EQ((Watts{8.0} - Watts{3.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ((Watts{4.0} * 2.5).value(), 10.0);
+  EXPECT_DOUBLE_EQ(Watts{10.0} / Watts{4.0}, 2.5);
+}
+
+TEST(BandwidthTest, Conversions) {
+  const Bandwidth bw = Bandwidth::gbps(320.0);
+  EXPECT_DOUBLE_EQ(bw.as_gbps(), 320.0);
+  EXPECT_DOUBLE_EQ(bw.as_bytes_per_sec(), 320e9);
+  EXPECT_DOUBLE_EQ(bw.bits_per_sec(), 2560e9);
+  EXPECT_DOUBLE_EQ(bw.bytes_in(Time::ms(1.0)), 320e6);
+}
+
+TEST(BandwidthTest, Arithmetic) {
+  const Bandwidth a = Bandwidth::gbps(100);
+  const Bandwidth b = Bandwidth::gbps(60);
+  EXPECT_DOUBLE_EQ((a + b).as_gbps(), 160.0);
+  EXPECT_DOUBLE_EQ((a - b).as_gbps(), 40.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).as_gbps(), 50.0);
+  EXPECT_DOUBLE_EQ(a / b, 100.0 / 60.0);
+}
+
+TEST(ThermalResistanceTest, Rise) {
+  const ThermalResistance r{0.5};
+  EXPECT_DOUBLE_EQ(r.rise(Watts{40.0}), 20.0);
+  EXPECT_LT(ThermalResistance{0.2}, ThermalResistance{4.0});
+}
+
+// Property sweep: time conversions are self-consistent across magnitudes.
+class TimeRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeRoundTrip, NsRoundTrip) {
+  const double ns = GetParam();
+  EXPECT_NEAR(Time::ns(ns).as_ns(), ns, 1e-3);
+  EXPECT_NEAR(Time::us(ns).as_us(), ns, 1e-6);
+  EXPECT_NEAR(Time::ms(ns).as_ms(), ns, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, TimeRoundTrip,
+                         ::testing::Values(0.001, 0.5, 1.0, 13.75, 27.5, 100.0, 12345.678));
+
+}  // namespace
+}  // namespace coolpim

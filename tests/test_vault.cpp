@@ -1,0 +1,69 @@
+// Tests for the vault controller model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "hmc/vault.hpp"
+
+namespace coolpim::hmc {
+namespace {
+
+TEST(VaultTest, BankCountFromConfig) {
+  const HmcConfig cfg = hmc20_config();
+  Vault vault{cfg};
+  EXPECT_EQ(vault.bank_count(), cfg.banks_per_vault());
+  EXPECT_EQ(vault.bank_count(), 16u);
+}
+
+TEST(VaultTest, IndependentBanksProceedInParallel) {
+  Vault vault{hmc20_config()};
+  const Time a = vault.service(Time::zero(), TransactionType::kRead64, 0, 1.0);
+  const Time b = vault.service(Time::zero(), TransactionType::kRead64, 1, 1.0);
+  // Different banks: both finish at the same (unqueued) time.
+  EXPECT_EQ(a, b);
+}
+
+TEST(VaultTest, SameBankSerializes) {
+  Vault vault{hmc20_config()};
+  const Time a = vault.service(Time::zero(), TransactionType::kRead64, 0, 1.0);
+  const Time b = vault.service(Time::zero(), TransactionType::kRead64, 0, 1.0);
+  EXPECT_GT(b, a);
+}
+
+TEST(VaultTest, PimOpsSerializeOnTheFunctionalUnit) {
+  Vault vault{hmc20_config()};
+  // PIM ops to different banks still share the vault's single FU.
+  const Time a = vault.service(Time::zero(), TransactionType::kPimNoReturn, 0, 1.0);
+  const Time b = vault.service(Time::zero(), TransactionType::kPimNoReturn, 1, 1.0);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(vault.stats().counter_value("pim_ops"), 2u);
+}
+
+TEST(VaultTest, StatsTrackKinds) {
+  Vault vault{hmc20_config()};
+  (void)vault.service(Time::zero(), TransactionType::kRead64, 0, 1.0);
+  (void)vault.service(Time::zero(), TransactionType::kWrite64, 1, 1.0);
+  (void)vault.service(Time::zero(), TransactionType::kPimWithReturn, 2, 1.0);
+  EXPECT_EQ(vault.stats().counter_value("reads"), 1u);
+  EXPECT_EQ(vault.stats().counter_value("writes"), 1u);
+  EXPECT_EQ(vault.stats().counter_value("pim_ops"), 1u);
+}
+
+TEST(VaultTest, QueueWaitRecorded) {
+  Vault vault{hmc20_config()};
+  for (int i = 0; i < 10; ++i) {
+    (void)vault.service(Time::zero(), TransactionType::kRead64, 0, 1.0);
+  }
+  const auto& wait = vault.stats().summaries().at("queue_wait_ns");
+  EXPECT_EQ(wait.count(), 10u);
+  EXPECT_GT(wait.max(), 0.0);
+  EXPECT_DOUBLE_EQ(wait.min(), 0.0);  // the first access did not wait
+}
+
+TEST(VaultTest, InvalidBankIndexAsserts) {
+  Vault vault{hmc20_config()};
+  EXPECT_THROW(vault.service(Time::zero(), TransactionType::kRead64, 999, 1.0), SimError);
+}
+
+}  // namespace
+}  // namespace coolpim::hmc

@@ -1,0 +1,30 @@
+// Development tool: trace per-epoch temperature/PIM-rate of one run.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sys/system.hpp"
+
+using namespace coolpim;
+
+int main(int argc, char** argv) {
+  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 18;
+  const std::string wl_name = argc > 2 ? argv[2] : "dc";
+  const int scen_idx = argc > 3 ? std::atoi(argv[3]) : 1;  // naive
+
+  sys::WorkloadSet set{scale};
+  sys::SystemConfig cfg;
+  cfg.scenario = sys::kAllScenarios[scen_idx];
+  sys::System system{cfg};
+  const auto r = system.run(set.profile(wl_name));
+
+  std::printf("start=%.1fC peak=%.1fC exec=%.2fms warn=%llu\n", r.start_dram_temp.value(),
+              r.peak_dram_temp.value(), r.exec_time.as_ms(),
+              static_cast<unsigned long long>(r.thermal_warnings));
+  for (std::size_t i = 0; i < r.dram_temp.size(); i += 10) {
+    std::printf("t=%7.3fms  T=%5.1fC  pim=%4.2f op/ns  bw=%6.1f GB/s\n",
+                r.dram_temp.time_at(i).as_ms(), r.dram_temp.value_at(i),
+                r.pim_rate.value_at(i), r.link_bw.value_at(i));
+  }
+  return 0;
+}
