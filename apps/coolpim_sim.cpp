@@ -13,9 +13,12 @@
 //     --pei               PEI-style coherent offloading instead of GraphPIM
 //     --timeline          print the PIM-rate/temperature time series
 //     --seed N            graph seed                    (default 1)
+//     --jobs N            parallel simulation jobs (default COOLPIM_JOBS or
+//                         all cores; results are identical at any job count)
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +26,7 @@
 #include <fstream>
 
 #include "common/table.hpp"
+#include "runner/experiment.hpp"
 #include "sys/report.hpp"
 #include "sys/system.hpp"
 
@@ -32,9 +36,10 @@ namespace {
 
 struct CliOptions {
   std::vector<std::string> workloads{"dc"};
-  std::vector<sys::Scenario> scenarios{sys::kAllScenarios,
-                                       sys::kAllScenarios + 5};
+  std::vector<sys::Scenario> scenarios{std::begin(sys::kAllScenarios),
+                                       std::end(sys::kAllScenarios)};
   unsigned scale{18};
+  unsigned jobs{0};  // 0 = COOLPIM_JOBS env or hardware concurrency
   std::uint64_t seed{1};
   power::CoolingType cooling{power::CoolingType::kCommodityServer};
   std::optional<std::uint32_t> control_factor;
@@ -48,7 +53,7 @@ struct CliOptions {
   if (msg) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
       "usage: coolpim_sim [--workload NAME|all] [--scenario NAME|all|bw-throttle]\n"
-      "                   [--scale N]\n"
+      "                   [--scale N] [--jobs N]\n"
       "                   [--cooling passive|low-end|commodity|high-end] [--cf N]\n"
       "                   [--target OP_PER_NS] [--pei] [--timeline] [--seed N]\n"
       "                   [--csv FILE]\n";
@@ -56,7 +61,7 @@ struct CliOptions {
 }
 
 std::vector<sys::Scenario> parse_scenarios(const std::string& s) {
-  if (s == "all") return {sys::kAllScenarios, sys::kAllScenarios + 5};
+  if (s == "all") return {std::begin(sys::kAllScenarios), std::end(sys::kAllScenarios)};
   if (s == "baseline") return {sys::Scenario::kNonOffloading};
   if (s == "naive") return {sys::Scenario::kNaiveOffloading};
   if (s == "coolpim-sw") return {sys::Scenario::kCoolPimSw};
@@ -97,6 +102,10 @@ CliOptions parse(int argc, char** argv) {
       if (opt.scale < 8 || opt.scale > 24) usage("scale must be in [8, 24]");
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(need_value(i).c_str()));
+    } else if (arg == "--jobs") {
+      const int v = std::atoi(need_value(i).c_str());
+      if (v < 1) usage("jobs must be at least 1");
+      opt.jobs = static_cast<unsigned>(v);
     } else if (arg == "--cooling") {
       opt.cooling = parse_cooling(need_value(i));
     } else if (arg == "--cf") {
@@ -147,32 +156,38 @@ int main(int argc, char** argv) {
             << ") and workload profiles...\n";
   const sys::WorkloadSet set{opt.scale, opt.seed, extended};
 
+  // Every (workload, scenario) pair is an independent task for the parallel
+  // runner; results come back in submission order regardless of jobs.
+  std::vector<runner::Experiment> experiments;
+  for (const auto& workload : opt.workloads) {
+    for (const auto scenario : opt.scenarios) {
+      runner::Experiment e;
+      e.workload = workload;
+      e.config.scenario = scenario;
+      e.config.cooling = opt.cooling;
+      e.config.target_rate_op_per_ns = opt.target;
+      if (opt.control_factor) {
+        e.config.sw_control_factor = *opt.control_factor;
+        e.config.hw_control_factor = *opt.control_factor;
+      }
+      if (opt.pei) e.config.gpu.offload_policy = gpu::OffloadPolicy::kCoherentWriteback;
+      experiments.push_back(std::move(e));
+    }
+  }
+  runner::RunOptions run_opt;
+  run_opt.jobs = opt.jobs;
+  const std::vector<sys::RunResult> runs = runner::run_sweep(set, experiments, run_opt);
+
   Table summary{"coolpim_sim results"};
   summary.header({"Workload", "Scenario", "Exec (ms)", "BW (GB/s)", "PIM rate",
                   "Peak DRAM (C)", "Warnings", "Energy (mJ)"});
-  std::vector<sys::RunResult> runs;
-  for (const auto& workload : opt.workloads) {
-    for (const auto scenario : opt.scenarios) {
-      sys::SystemConfig cfg;
-      cfg.scenario = scenario;
-      cfg.cooling = opt.cooling;
-      cfg.target_rate_op_per_ns = opt.target;
-      if (opt.control_factor) {
-        cfg.sw_control_factor = *opt.control_factor;
-        cfg.hw_control_factor = *opt.control_factor;
-      }
-      if (opt.pei) cfg.gpu.offload_policy = gpu::OffloadPolicy::kCoherentWriteback;
-
-      sys::System system{cfg};
-      const auto r = system.run(set.profile(workload));
-      summary.row({r.workload, r.scenario, Table::num(r.exec_time.as_ms(), 2),
-                   Table::num(r.avg_link_data_gbps(), 1),
-                   Table::num(r.avg_pim_rate_op_per_ns(), 2),
-                   Table::num(r.peak_dram_temp.value(), 1),
-                   std::to_string(r.thermal_warnings),
-                   Table::num(r.total_energy_j() * 1e3, 1)});
-      runs.push_back(r);
-    }
+  for (const auto& r : runs) {
+    summary.row({r.workload, r.scenario, Table::num(r.exec_time.as_ms(), 2),
+                 Table::num(r.avg_link_data_gbps(), 1),
+                 Table::num(r.avg_pim_rate_op_per_ns(), 2),
+                 Table::num(r.peak_dram_temp.value(), 1),
+                 std::to_string(r.thermal_warnings),
+                 Table::num(r.total_energy_j() * 1e3, 1)});
   }
   summary.print(std::cout);
 

@@ -15,7 +15,7 @@ namespace {
 
 void print_fig10() {
   std::cout << "Building workload set (scale " << bench_scale()
-            << ", override with COOLPIM_SCALE) and running 10 workloads x 5 scenarios...\n";
+            << ", override with COOLPIM_SCALE) and running 10 workloads x 6 scenarios...\n";
   const auto& matrix = scenario_matrix();
 
   Table t{"Fig. 10 -- Speedup over the non-offloading baseline"};

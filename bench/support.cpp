@@ -1,6 +1,9 @@
 #include "support.hpp"
 
 #include <cstdlib>
+#include <iterator>
+
+#include "runner/experiment.hpp"
 
 namespace coolpim::bench {
 
@@ -19,22 +22,22 @@ const sys::WorkloadSet& workloads() {
 
 sys::RunResult run_one(const std::string& workload, sys::Scenario scenario,
                        const sys::SystemConfig& base) {
-  sys::SystemConfig cfg = base;
-  cfg.scenario = scenario;
-  sys::System system{cfg};
-  return system.run(workloads().profile(workload));
+  // Routed through the runner so the micro phases of a bench binary reuse
+  // the table phase's cached results for identical (workload, scenario,
+  // config) triples.
+  return runner::run_one(workloads(), workload, scenario, base);
 }
 
 const std::vector<ScenarioRow>& scenario_matrix() {
   static const std::vector<ScenarioRow> matrix = [] {
+    const std::vector<sys::Scenario> scenarios{std::begin(sys::kAllScenarios),
+                                               std::end(sys::kAllScenarios)};
+    auto computed =
+        runner::run_matrix(workloads(), sys::workload_names(), scenarios);
     std::vector<ScenarioRow> rows;
-    for (const auto& name : sys::workload_names()) {
-      ScenarioRow row;
-      row.workload = name;
-      for (const auto s : sys::kAllScenarios) {
-        row.runs.emplace(s, run_one(name, s));
-      }
-      rows.push_back(std::move(row));
+    rows.reserve(computed.size());
+    for (auto& r : computed) {
+      rows.push_back(ScenarioRow{std::move(r.workload), std::move(r.runs)});
     }
     return rows;
   }();

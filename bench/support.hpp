@@ -18,7 +18,7 @@ namespace coolpim::bench {
 /// Lazily-built workload set shared within one bench process.
 [[nodiscard]] const sys::WorkloadSet& workloads();
 
-/// Results of one workload across all five scenarios.
+/// Results of one workload across all scenarios in sys::kAllScenarios.
 struct ScenarioRow {
   std::string workload;
   std::map<sys::Scenario, sys::RunResult> runs;
@@ -33,11 +33,13 @@ struct ScenarioRow {
   }
 };
 
-/// Run every workload under every scenario (the Fig. 10-13 matrix).  Cached
-/// for the lifetime of the process.
+/// Run every workload under every scenario (the Fig. 10-13 matrix) across
+/// the parallel runner (jobs = COOLPIM_JOBS or all cores; results are
+/// bit-identical at any jobs count).  Cached for the lifetime of the process.
 [[nodiscard]] const std::vector<ScenarioRow>& scenario_matrix();
 
 /// Run a single (workload, scenario) pair with an optionally tweaked config.
+/// Served from the process-wide result cache when the matrix already ran it.
 [[nodiscard]] sys::RunResult run_one(const std::string& workload, sys::Scenario scenario,
                                      const sys::SystemConfig& base = {});
 

@@ -3,11 +3,17 @@
 // heat sink, watch the stack heat transiently, and observe the conservative
 // shutdown -- including the tens-of-seconds recovery the authors measured.
 //
-//   $ ./prototype_campaign [passive|low-end|high-end]
+//   $ ./prototype_campaign [passive|low-end|high-end|all]
+//
+// `all` replays the campaign for every sink concurrently on the work-stealing
+// pool (each replay owns its thermal model, so they are independent tasks)
+// and prints the reports in sink order.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "hmc/config.hpp"
@@ -15,20 +21,14 @@
 #include "hmc/thermal_policy.hpp"
 #include "power/cooling.hpp"
 #include "power/energy_model.hpp"
+#include "runner/pool.hpp"
 #include "thermal/hmc_thermal.hpp"
 
 using namespace coolpim;
 
-int main(int argc, char** argv) {
-  const std::string sink_name = argc > 1 ? argv[1] : "passive";
-  power::CoolingType sink = power::CoolingType::kPassive;
-  if (sink_name == "low-end") sink = power::CoolingType::kLowEndActive;
-  else if (sink_name == "high-end") sink = power::CoolingType::kHighEndActive;
-  else if (sink_name != "passive") {
-    std::cerr << "usage: prototype_campaign [passive|low-end|high-end]\n";
-    return 2;
-  }
+namespace {
 
+void run_campaign(power::CoolingType sink, std::ostream& out) {
   const hmc::LinkModel link{hmc::hmc11_config()};
   const power::EnergyParams energy;
   hmc::ThermalPolicy policy;
@@ -41,9 +41,9 @@ int main(int argc, char** argv) {
   model.apply_power(power::compute_power(energy, power::OperatingPoint{}));
   model.solve_steady();  // module idles long before the test starts
 
-  std::cout << "HMC 1.1 prototype bandwidth ramp, " << power::prototype_cooling(sink).name
-            << " (conservative shutdown ~" << policy.conservative_shutdown_temp.value()
-            << " C die)\n";
+  out << "HMC 1.1 prototype bandwidth ramp, " << power::prototype_cooling(sink).name
+      << " (conservative shutdown ~" << policy.conservative_shutdown_temp.value()
+      << " C die)\n";
 
   Table t{"Campaign log"};
   t.header({"t (ms)", "Offered BW (GB/s)", "Surface (C)", "Die (C)", "Event"});
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
              event});
     }
   }
-  t.print(std::cout);
+  t.print(out);
 
   if (shut_down) {
     // Recovery: the module cools with no traffic; the paper measured tens of
@@ -96,16 +96,44 @@ int main(int argc, char** argv) {
       model.step(Time::ms(100));
       cooled += Time::ms(100);
     }
-    std::cout << "Shutdown at " << Table::num(now.as_ms(), 0) << " ms with " << bw
-              << " GB/s offered.  The dies cool back to ~" << Table::num(resume_temp, 0)
-              << " C within " << Table::num(std::max(cooled.as_sec(), 0.1), 1)
-              << " s, but recovery = cool-down + link retraining + reloading the LOST\n"
-                 "cube contents -- tens of seconds end to end (paper Section III-A.2),\n"
-                 "far longer than any GPU kernel.  This is why reactive policies cannot\n"
-                 "substitute for source throttling on the prototype.\n";
+    out << "Shutdown at " << Table::num(now.as_ms(), 0) << " ms with " << bw
+        << " GB/s offered.  The dies cool back to ~" << Table::num(resume_temp, 0)
+        << " C within " << Table::num(std::max(cooled.as_sec(), 0.1), 1)
+        << " s, but recovery = cool-down + link retraining + reloading the LOST\n"
+           "cube contents -- tens of seconds end to end (paper Section III-A.2),\n"
+           "far longer than any GPU kernel.  This is why reactive policies cannot\n"
+           "substitute for source throttling on the prototype.\n";
   } else {
-    std::cout << "Ramp completed without shutdown: peak die "
-              << Table::num(model.peak_dram().value(), 1) << " C at " << bw << " GB/s.\n";
+    out << "Ramp completed without shutdown: peak die "
+        << Table::num(model.peak_dram().value(), 1) << " C at " << bw << " GB/s.\n";
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string sink_name = argc > 1 ? argv[1] : "passive";
+  if (sink_name == "all") {
+    const std::vector<power::CoolingType> sinks{power::CoolingType::kPassive,
+                                                power::CoolingType::kLowEndActive,
+                                                power::CoolingType::kHighEndActive};
+    std::vector<std::ostringstream> reports(sinks.size());
+    runner::Pool pool;
+    pool.parallel_for(sinks.size(), [&](std::size_t i) { run_campaign(sinks[i], reports[i]); });
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (i > 0) std::cout << "\n";
+      std::cout << reports[i].str();
+    }
+    return 0;
+  }
+
+  power::CoolingType sink = power::CoolingType::kPassive;
+  if (sink_name == "low-end") sink = power::CoolingType::kLowEndActive;
+  else if (sink_name == "high-end") sink = power::CoolingType::kHighEndActive;
+  else if (sink_name != "passive") {
+    std::cerr << "usage: prototype_campaign [passive|low-end|high-end|all]\n";
+    return 2;
+  }
+  run_campaign(sink, std::cout);
   return 0;
 }

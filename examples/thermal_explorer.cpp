@@ -8,6 +8,8 @@
 // normal DRAM range?
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "hmc/config.hpp"
@@ -15,6 +17,7 @@
 #include "hmc/thermal_policy.hpp"
 #include "power/cooling.hpp"
 #include "power/energy_model.hpp"
+#include "runner/pool.hpp"
 #include "thermal/hmc_thermal.hpp"
 
 using namespace coolpim;
@@ -58,26 +61,25 @@ int main(int argc, char** argv) {
             << Table::num(pb.dram_total().value(), 1) << " W), internal DRAM traffic "
             << Table::num(op.dram_internal.as_gbps(), 0) << " GB/s\n";
 
-  Table t{"Cooling solutions at this operating point"};
-  t.header({"Heat sink", "R (C/W)", "Fan power (W)", "Peak DRAM (C)", "Phase"});
-  for (const auto& sink : power::all_cooling_solutions()) {
-    thermal::HmcThermalConfig cfg = thermal::hmc20_thermal_config(sink.type);
-    thermal::HmcThermalModel model{cfg};
+  // Each heat sink's steady solve and PIM-budget bisection is independent:
+  // fan them out across the pool and print the rows in sink order.
+  const auto& sinks = power::all_cooling_solutions();
+  std::vector<std::vector<std::string>> point_rows(sinks.size());
+  std::vector<std::vector<std::string>> budget_rows(sinks.size());
+  runner::Pool pool;
+  pool.parallel_for(sinks.size(), [&](std::size_t i) {
+    const auto& sink = sinks[i];
+    thermal::HmcThermalModel model{thermal::hmc20_thermal_config(sink.type)};
     model.apply_power(pb);
     model.solve_steady();
     const Celsius temp = model.peak_dram();
-    t.row({sink.name, Table::num(sink.resistance.value(), 1),
-           Table::num(sink.fan_power_watts, 2), Table::num(temp.value(), 1),
-           std::string(to_string(policy.phase(temp)))});
-  }
-  t.print(std::cout);
+    point_rows[i] = {sink.name, Table::num(sink.resistance.value(), 1),
+                     Table::num(sink.fan_power_watts, 2), Table::num(temp.value(), 1),
+                     std::string(to_string(policy.phase(temp)))};
 
-  // Largest sustainable PIM rate per sink (bisection against the 85 C limit).
-  Table budget{"PIM-rate budget within the normal DRAM range (links otherwise full)"};
-  budget.header({"Heat sink", "Max PIM rate (op/ns) below 85 C"});
-  for (const auto& sink : power::all_cooling_solutions()) {
+    // Largest sustainable PIM rate (bisection against the 85 C limit).
     double lo = 0.0, hi = 10.0;
-    for (int i = 0; i < 24; ++i) {
+    for (int step = 0; step < 24; ++step) {
       const double mid = 0.5 * (lo + hi);
       hmc::TransactionMix mix;
       mix.pim_per_sec = mid * 1e9;
@@ -87,14 +89,23 @@ int main(int argc, char** argv) {
       probe.link_raw = link.raw_link_bandwidth(mix);
       probe.dram_internal = link.internal_dram_bandwidth(mix);
       probe.pim_ops_per_sec = mix.pim_per_sec;
-      thermal::HmcThermalModel model{thermal::hmc20_thermal_config(sink.type)};
-      model.apply_power(power::compute_power(energy, probe));
-      model.solve_steady();
-      (model.peak_dram().value() < 85.0 ? lo : hi) = mid;
+      thermal::HmcThermalModel probe_model{thermal::hmc20_thermal_config(sink.type)};
+      probe_model.apply_power(power::compute_power(energy, probe));
+      probe_model.solve_steady();
+      (probe_model.peak_dram().value() < 85.0 ? lo : hi) = mid;
     }
-    budget.row({sink.name, lo <= 0.0 ? "none (over 85 C even without PIM)"
-                                     : Table::num(lo, 2)});
-  }
+    budget_rows[i] = {sink.name, lo <= 0.0 ? "none (over 85 C even without PIM)"
+                                           : Table::num(lo, 2)};
+  });
+
+  Table t{"Cooling solutions at this operating point"};
+  t.header({"Heat sink", "R (C/W)", "Fan power (W)", "Peak DRAM (C)", "Phase"});
+  for (auto& row : point_rows) t.row(std::move(row));
+  t.print(std::cout);
+
+  Table budget{"PIM-rate budget within the normal DRAM range (links otherwise full)"};
+  budget.header({"Heat sink", "Max PIM rate (op/ns) below 85 C"});
+  for (auto& row : budget_rows) budget.row(std::move(row));
   budget.print(std::cout);
   return 0;
 }

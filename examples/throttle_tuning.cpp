@@ -11,22 +11,23 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "runner/experiment.hpp"
 #include "sys/system.hpp"
 
 using namespace coolpim;
 
 namespace {
 
-sys::RunResult transient(const sys::WorkloadSet& set, const std::string& workload,
-                         sys::Scenario scenario, std::uint32_t cf) {
-  sys::SystemConfig cfg;
-  cfg.scenario = scenario;
-  cfg.warm_start = false;
-  cfg.start_temp_override = 84.0;  // the device is already near the limit
-  cfg.sw_control_factor = cf;
-  cfg.hw_control_factor = cf;
-  sys::System system{cfg};
-  return system.run(set.profile(workload));
+runner::Experiment transient(const std::string& workload, sys::Scenario scenario,
+                             std::uint32_t cf) {
+  runner::Experiment e;
+  e.workload = workload;
+  e.config.scenario = scenario;
+  e.config.warm_start = false;
+  e.config.start_temp_override = 84.0;  // the device is already near the limit
+  e.config.sw_control_factor = cf;
+  e.config.hw_control_factor = cf;
+  return e;
 }
 
 }  // namespace
@@ -38,10 +39,14 @@ int main(int argc, char** argv) {
   std::cout << "Throttle tuning on '" << workload << "' (scale " << scale << ")\n";
   const sys::WorkloadSet set{scale};
 
-  // Transient timeline: naive vs both CoolPIM mechanisms.
-  const auto naive = transient(set, workload, sys::Scenario::kNaiveOffloading, 4);
-  const auto sw = transient(set, workload, sys::Scenario::kCoolPimSw, 4);
-  const auto hw = transient(set, workload, sys::Scenario::kCoolPimHw, 4);
+  // Transient timeline: naive vs both CoolPIM mechanisms, run concurrently.
+  const auto transients = runner::run_sweep(
+      set, {transient(workload, sys::Scenario::kNaiveOffloading, 4),
+            transient(workload, sys::Scenario::kCoolPimSw, 4),
+            transient(workload, sys::Scenario::kCoolPimHw, 4)});
+  const auto& naive = transients[0];
+  const auto& sw = transients[1];
+  const auto& hw = transients[2];
 
   const Time span = std::max({naive.exec_time, sw.exec_time, hw.exec_time});
   const std::size_t points = 16;
@@ -61,16 +66,24 @@ int main(int argc, char** argv) {
   }
   timeline.print(std::cout);
 
-  // Control-factor comparison (sustained behaviour, warm start).
+  // Control-factor comparison (sustained behaviour, warm start): one task
+  // per CF, swept in parallel.
+  const std::vector<std::uint32_t> cfs{2, 4, 8, 16};
+  std::vector<runner::Experiment> cf_tasks;
+  for (const std::uint32_t cf : cfs) {
+    runner::Experiment e;
+    e.workload = workload;
+    e.config.scenario = sys::Scenario::kCoolPimHw;
+    e.config.hw_control_factor = cf;
+    cf_tasks.push_back(std::move(e));
+  }
+  const auto cf_runs = runner::run_sweep(set, cf_tasks);
+
   Table cf_table{"Control factor sweep (sustained, HW-DynT)"};
   cf_table.header({"CF (warps)", "Exec (ms)", "PIM rate (op/ns)", "Peak DRAM (C)"});
-  for (const std::uint32_t cf : {2u, 4u, 8u, 16u}) {
-    sys::SystemConfig cfg;
-    cfg.scenario = sys::Scenario::kCoolPimHw;
-    cfg.hw_control_factor = cf;
-    sys::System system{cfg};
-    const auto r = system.run(set.profile(workload));
-    cf_table.row({std::to_string(cf), Table::num(r.exec_time.as_ms(), 2),
+  for (std::size_t i = 0; i < cfs.size(); ++i) {
+    const auto& r = cf_runs[i];
+    cf_table.row({std::to_string(cfs[i]), Table::num(r.exec_time.as_ms(), 2),
                   Table::num(r.avg_pim_rate_op_per_ns(), 2),
                   Table::num(r.peak_dram_temp.value(), 1)});
   }

@@ -1,0 +1,183 @@
+#include "runner/experiment.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "runner/pool.hpp"
+
+namespace coolpim::runner {
+
+namespace {
+
+void hash_gpu(HashStream& h, const gpu::GpuConfig& g) {
+  h.add(g.num_sms).add(g.threads_per_warp).add(g.threads_per_block);
+  h.add(g.max_blocks_per_sm).add(g.max_warps_per_sm).add(g.clock.as_hz());
+  h.add(g.l1_bytes).add(g.l1_ways).add(g.l2_bytes).add(g.l2_ways).add(g.line_bytes);
+  h.add(g.mlp_per_warp).add(g.mem_latency.as_ps()).add(g.host_atomic_coalescing);
+  h.add(g.offload_policy).add(g.pei_coherence_txns);
+}
+
+void hash_hmc(HashStream& h, const hmc::HmcConfig& c) {
+  h.add(std::string_view{c.name}).add(c.capacity_bytes).add(c.dram_dies);
+  h.add(c.vaults).add(c.banks).add(c.links);
+  h.add(c.link_raw_per_link.as_bytes_per_sec()).add(c.link_data_per_link.as_bytes_per_sec());
+  h.add(c.timing.tCL.as_ps()).add(c.timing.tRCD.as_ps());
+  h.add(c.timing.tRP.as_ps()).add(c.timing.tRAS.as_ps());
+  h.add(c.pim_capable).add(c.internal_peak.as_bytes_per_sec());
+  h.add(c.access_granularity).add(c.open_page).add(c.row_bytes);
+}
+
+void hash_policy(HashStream& h, const hmc::ThermalPolicy& p) {
+  h.add(p.normal_limit.value()).add(p.extended_limit.value()).add(p.shutdown_limit.value());
+  h.add(p.warning_threshold.value());
+  h.add(p.extended_service_scale).add(p.critical_service_scale);
+  h.add(p.conservative_shutdown).add(p.conservative_shutdown_temp.value());
+}
+
+void hash_energy(HashStream& h, const power::EnergyParams& e) {
+  h.add(e.dram_energy_per_bit.value()).add(e.logic_energy_per_bit.value());
+  h.add(e.fu_energy_per_bit.value()).add(e.fu_width_bits);
+  h.add(e.background_logic.value()).add(e.background_dram.value());
+  for (int i = 0; i < 3; ++i) {
+    h.add(e.dram_energy_mult[i]).add(e.logic_energy_mult[i]).add(e.refresh_extra_watts[i]);
+  }
+}
+
+struct ResultCache {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, sys::RunResult> entries;
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+};
+
+ResultCache& cache() {
+  static ResultCache c;
+  return c;
+}
+
+sys::RunResult run_task(const sys::WorkloadSet& set, const Experiment& e, bool use_cache) {
+  const std::uint64_t key = experiment_key(set, e.workload, e.config);
+  if (use_cache) {
+    auto& c = cache();
+    std::lock_guard<std::mutex> lk{c.mu};
+    if (auto it = c.entries.find(key); it != c.entries.end()) {
+      ++c.hits;
+      return it->second;
+    }
+    ++c.misses;
+  }
+  sys::SystemConfig cfg = e.config;
+  cfg.run_seed = derive_seed(key);
+  sys::System system{cfg};
+  sys::RunResult result = system.run(set.profile(e.workload));
+  if (use_cache) {
+    auto& c = cache();
+    std::lock_guard<std::mutex> lk{c.mu};
+    // Two threads racing on the same key compute identical results (that is
+    // the determinism contract), so last-writer-wins insertion is benign.
+    c.entries.insert_or_assign(key, result);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t config_hash(const sys::SystemConfig& cfg) {
+  HashStream h;
+  hash_gpu(h, cfg.gpu);
+  hash_hmc(h, cfg.hmc);
+  hash_policy(h, cfg.policy);
+  hash_energy(h, cfg.energy);
+  h.add(cfg.cooling).add(cfg.scenario);
+  h.add(cfg.epoch.as_ps()).add(cfg.warmup_epoch.as_ps()).add(cfg.thermal_delay.as_ps());
+  h.add(cfg.sw_control_factor).add(cfg.hw_control_factor);
+  h.add(cfg.target_rate_op_per_ns).add(cfg.eq1_margin_blocks);
+  h.add(cfg.warm_start).add(cfg.start_temp_override).add(cfg.max_warmup_reps);
+  h.add(cfg.warmup_tolerance_c).add(cfg.max_time.as_ps()).add(cfg.shutdown_recovery.as_ps());
+  return h.digest();
+}
+
+std::uint64_t experiment_key(const sys::WorkloadSet& set, const std::string& workload,
+                             const sys::SystemConfig& cfg) {
+  HashStream h;
+  h.add(set.scale()).add(set.seed());
+  h.add(std::string_view{workload});
+  h.u64(config_hash(cfg));
+  return h.digest();
+}
+
+std::uint64_t derive_seed(std::uint64_t key) {
+  // Salted so the seed stream is decoupled from the cache-key stream.
+  return mix_seed(key ^ 0xc001'0a1a'5eed'0001ULL);
+}
+
+std::vector<sys::RunResult> run_sweep(const sys::WorkloadSet& set,
+                                      const std::vector<Experiment>& experiments,
+                                      const RunOptions& opt) {
+  std::vector<sys::RunResult> results(experiments.size());
+  Pool pool{opt.jobs};
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    pool.submit([&set, &experiments, &results, &opt, i] {
+      results[i] = run_task(set, experiments[i], opt.use_cache);
+    });
+  }
+  pool.wait();
+  return results;
+}
+
+std::vector<MatrixRow> run_matrix(const sys::WorkloadSet& set,
+                                  const std::vector<std::string>& workloads,
+                                  const std::vector<sys::Scenario>& scenarios,
+                                  const sys::SystemConfig& base, const RunOptions& opt) {
+  std::vector<Experiment> experiments;
+  experiments.reserve(workloads.size() * scenarios.size());
+  for (const auto& w : workloads) {
+    for (const auto s : scenarios) {
+      Experiment e;
+      e.workload = w;
+      e.config = base;
+      e.config.scenario = s;
+      experiments.push_back(std::move(e));
+    }
+  }
+  auto results = run_sweep(set, experiments, opt);
+
+  std::vector<MatrixRow> rows;
+  rows.reserve(workloads.size());
+  std::size_t idx = 0;
+  for (const auto& w : workloads) {
+    MatrixRow row;
+    row.workload = w;
+    for (const auto s : scenarios) row.runs.emplace(s, std::move(results[idx++]));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+sys::RunResult run_one(const sys::WorkloadSet& set, const std::string& workload,
+                       sys::Scenario scenario, const sys::SystemConfig& base,
+                       const RunOptions& opt) {
+  Experiment e;
+  e.workload = workload;
+  e.config = base;
+  e.config.scenario = scenario;
+  return run_task(set, e, opt.use_cache);
+}
+
+CacheStats cache_stats() {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lk{c.mu};
+  return CacheStats{c.entries.size(), c.hits, c.misses};
+}
+
+void clear_result_cache() {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lk{c.mu};
+  c.entries.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+}  // namespace coolpim::runner

@@ -28,7 +28,7 @@ enum class Scenario {
 
 inline constexpr Scenario kAllScenarios[] = {
     Scenario::kNonOffloading, Scenario::kNaiveOffloading, Scenario::kCoolPimSw,
-    Scenario::kCoolPimHw, Scenario::kIdealThermal,
+    Scenario::kCoolPimHw,     Scenario::kIdealThermal,    Scenario::kBwThrottle,
 };
 
 }  // namespace coolpim::sys

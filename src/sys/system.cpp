@@ -101,7 +101,8 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
   // Property footprint: two 4-byte property arrays (e.g. level + frontier
   // flags) over the vertices is representative of the workloads here.
   gpu::CacheHitModel cache{cfg_.gpu,
-                           static_cast<std::uint64_t>(workload.graph_vertices) * 8};
+                           static_cast<std::uint64_t>(workload.graph_vertices) * 8,
+                           1 << 20, cfg_.run_seed};
   auto launches = gpu::build_launches(workload, cfg_.gpu, cache);
 
   // Static analysis for Eq. 1's PTP initialization: estimate the

@@ -51,6 +51,11 @@ struct SystemConfig {
 
   // Run control.
   bool warm_start{true};
+  /// Seed for the run's stochastic sampling (cache-characterization replay).
+  /// The parallel runner (runner/experiment.hpp) overwrites this with a seed
+  /// derived from the task's stable hash so sweep results are independent of
+  /// thread count and scheduling order.
+  std::uint64_t run_seed{7};
   /// If > 0: bisect the pre-run background load so the starting peak DRAM
   /// temperature equals this value (transient experiments, Fig. 14).
   double start_temp_override{-1.0};

@@ -20,7 +20,7 @@ const std::vector<std::string>& extended_workload_names() {
 }
 
 WorkloadSet::WorkloadSet(unsigned scale, std::uint64_t seed, bool include_extended)
-    : scale_{scale}, graph_{graph::make_ldbc_like(scale, seed)} {
+    : scale_{scale}, seed_{seed}, graph_{graph::make_ldbc_like(scale, seed)} {
   using graph::BfsVariant;
   using graph::SsspVariant;
   // Traverse from the highest-degree vertex (standard practice for RMAT

@@ -29,9 +29,12 @@ class WorkloadSet {
   [[nodiscard]] const graph::WorkloadProfile& profile(const std::string& name) const;
   [[nodiscard]] const std::vector<graph::WorkloadProfile>& all() const { return profiles_; }
   [[nodiscard]] unsigned scale() const { return scale_; }
+  /// Graph-generation seed; part of the identity the parallel runner hashes.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
  private:
   unsigned scale_;
+  std::uint64_t seed_;
   graph::CsrGraph graph_;
   std::vector<graph::WorkloadProfile> profiles_;
 };

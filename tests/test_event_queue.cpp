@@ -1,0 +1,138 @@
+// Property tests for sim::EventQueue ordering and the Simulation stop() /
+// run_until boundary semantics (previously only covered incidentally via
+// test_sim's integration cases).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace coolpim::sim {
+namespace {
+
+TEST(EventQueueProperty, FifoWithinEveryTimestamp) {
+  // Schedule many events over a handful of timestamps in random order; within
+  // each timestamp the pop order must equal the schedule order regardless of
+  // how the timestamps interleave.
+  Rng rng{0x5eed'f1f0};
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q;
+    std::map<std::int64_t, std::vector<int>> scheduled;  // time -> insert order
+    std::map<std::int64_t, std::vector<int>> popped;
+    for (int i = 0; i < 200; ++i) {
+      const auto t_ns = static_cast<std::int64_t>(rng.next_below(8));
+      scheduled[t_ns].push_back(i);
+      q.schedule(Time::ns(static_cast<double>(t_ns)),
+                 [&popped, t_ns, i] { popped[t_ns].push_back(i); });
+    }
+    Time last = Time::zero();
+    while (!q.empty()) {
+      auto [t, action] = q.pop();
+      EXPECT_GE(t, last);  // never travels backwards
+      last = t;
+      action();
+    }
+    EXPECT_EQ(popped, scheduled);
+  }
+}
+
+TEST(EventQueueProperty, NextTimeTracksEarliestEvent) {
+  EventQueue q;
+  q.schedule(Time::ns(30), [] {});
+  EXPECT_EQ(q.next_time(), Time::ns(30));
+  q.schedule(Time::ns(10), [] {});
+  EXPECT_EQ(q.next_time(), Time::ns(10));
+  q.schedule(Time::ns(20), [] {});
+  EXPECT_EQ(q.next_time(), Time::ns(10));
+  EXPECT_EQ(q.size(), 3u);
+  (void)q.pop();
+  EXPECT_EQ(q.next_time(), Time::ns(20));
+}
+
+TEST(EventQueueProperty, SchedulingAtLastPoppedTimeIsAllowed) {
+  // An event may schedule a successor at the *current* time (same-timestamp
+  // FIFO handles it); only strictly-past times are rejected.
+  EventQueue q;
+  q.schedule(Time::ns(10), [] {});
+  (void)q.pop();
+  EXPECT_NO_THROW(q.schedule(Time::ns(10), [] {}));
+  EXPECT_THROW(q.schedule(Time::ps(9999), [] {}), SimError);
+}
+
+TEST(EventQueueProperty, ClearResetsSequenceAndPastGuard) {
+  EventQueue q;
+  q.schedule(Time::ns(50), [] {});
+  (void)q.pop();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // After clear() the queue accepts early timestamps again and FIFO order
+  // restarts from a fresh sequence counter.
+  std::vector<int> order;
+  q.schedule(Time::ns(1), [&] { order.push_back(0); });
+  q.schedule(Time::ns(1), [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimulationBoundary, EventExactlyAtDeadlineRuns) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(Time::ns(10), [&] { ++fired; });
+  sim.run_until(Time::ns(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::ns(10));
+  EXPECT_FALSE(sim.pending());
+}
+
+TEST(SimulationBoundary, EventJustPastDeadlineDoesNotRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(Time::ns(10) + Time::ps(1), [&] { ++fired; });
+  sim.run_until(Time::ns(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), Time::ns(10));  // clock still advances to the deadline
+  EXPECT_TRUE(sim.pending());
+}
+
+TEST(SimulationBoundary, StopIsClearedByTheNextRun) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_in(Time::ns(1), [&] {
+    fired.push_back(1);
+    sim.stop();
+  });
+  sim.schedule_in(Time::ns(2), [&] { fired.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_TRUE(sim.pending());
+  // stop() affects only the run that observed it; a fresh run resumes.
+  sim.run_to_completion();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(sim.pending());
+}
+
+TEST(SimulationBoundary, StopDoesNotRewindTheClock) {
+  Simulation sim;
+  sim.schedule_in(Time::ns(5), [&] { sim.stop(); });
+  sim.schedule_in(Time::ns(50), [] {});
+  const Time reached = sim.run_until(Time::us(1));
+  EXPECT_EQ(reached, Time::ns(5));
+  EXPECT_EQ(sim.now(), Time::ns(5));
+}
+
+TEST(SimulationBoundary, SameTimestampEventsAllRunAtDeadline) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(Time::ns(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(Time::ns(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace coolpim::sim

@@ -1,10 +1,12 @@
-// Full-system integration tests: the five scenarios on a small LDBC-like
+// Full-system integration tests: the six scenarios on a small LDBC-like
 // graph must reproduce the paper's qualitative results (Figs. 10-13).
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
 
+#include <iterator>
 #include <map>
+#include <set>
 
 #include "sys/system.hpp"
 
@@ -35,6 +37,24 @@ class SystemFixture : public ::testing::Test {
     return results;
   }
 };
+
+TEST_F(SystemFixture, AllSixScenariosRunAndProduceResults) {
+  // kAllScenarios is the canonical iteration set for matrices and CLIs; it
+  // must contain every scenario exactly once (kBwThrottle was once missing).
+  std::set<Scenario> distinct{std::begin(kAllScenarios), std::end(kAllScenarios)};
+  EXPECT_EQ(distinct.size(), 6u);
+  EXPECT_EQ(distinct.count(Scenario::kBwThrottle), 1u);
+
+  ASSERT_EQ(dc_results().size(), 6u);
+  for (const auto& [scenario, r] : dc_results()) {
+    SCOPED_TRACE(to_string(scenario));
+    EXPECT_GT(r.exec_time, Time::zero());
+    EXPECT_GT(r.link_raw_bytes, 0.0);
+    EXPECT_GT(r.peak_dram_temp.value(), 0.0);
+    EXPECT_EQ(r.workload, "dc");
+    EXPECT_EQ(r.scenario, to_string(scenario));
+  }
+}
 
 TEST_F(SystemFixture, BaselineNeverOffloads) {
   const auto& r = dc_results().at(Scenario::kNonOffloading);
