@@ -15,6 +15,12 @@
 //     --seed N            graph seed                    (default 1)
 //     --jobs N            parallel simulation jobs (default COOLPIM_JOBS or
 //                         all cores; results are identical at any job count)
+//     --trace FILE        write a Chrome trace_event JSON of every run
+//                         (chrome://tracing / Perfetto; docs/OBSERVABILITY.md)
+//     --counters FILE     write per-epoch counter snapshots as long-form CSV
+//
+// Tracing is strictly read-only: summary/timeline/CSV output is byte-for-byte
+// identical with or without --trace/--counters, at any --jobs value.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -26,6 +32,7 @@
 #include <fstream>
 
 #include "common/table.hpp"
+#include "obs/observer.hpp"
 #include "runner/experiment.hpp"
 #include "sys/report.hpp"
 #include "sys/system.hpp"
@@ -47,6 +54,8 @@ struct CliOptions {
   bool pei{false};
   bool timeline{false};
   std::string csv_path;
+  std::string trace_path;
+  std::string counters_path;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -56,7 +65,7 @@ struct CliOptions {
       "                   [--scale N] [--jobs N]\n"
       "                   [--cooling passive|low-end|commodity|high-end] [--cf N]\n"
       "                   [--target OP_PER_NS] [--pei] [--timeline] [--seed N]\n"
-      "                   [--csv FILE]\n";
+      "                   [--csv FILE] [--trace FILE] [--counters FILE]\n";
   std::exit(msg ? 2 : 0);
 }
 
@@ -119,6 +128,10 @@ CliOptions parse(int argc, char** argv) {
       opt.timeline = true;
     } else if (arg == "--csv") {
       opt.csv_path = need_value(i);
+    } else if (arg == "--trace") {
+      opt.trace_path = need_value(i);
+    } else if (arg == "--counters") {
+      opt.counters_path = need_value(i);
     } else {
       usage(("unknown option: " + arg).c_str());
     }
@@ -176,6 +189,11 @@ int main(int argc, char** argv) {
   }
   runner::RunOptions run_opt;
   run_opt.jobs = opt.jobs;
+  std::optional<obs::SweepObserver> observer;
+  if (!opt.trace_path.empty() || !opt.counters_path.empty()) {
+    observer.emplace(!opt.trace_path.empty(), !opt.counters_path.empty());
+    run_opt.obs = &*observer;
+  }
   const std::vector<sys::RunResult> runs = runner::run_sweep(set, experiments, run_opt);
 
   Table summary{"coolpim_sim results"};
@@ -202,6 +220,25 @@ int main(int argc, char** argv) {
     }
     sys::write_summary_csv(out, runs);
     std::cout << "Summary CSV written to " << opt.csv_path << "\n";
+  }
+  if (!opt.trace_path.empty()) {
+    std::ofstream out{opt.trace_path};
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.trace_path << " for writing\n";
+      return 1;
+    }
+    observer->write_trace(out);
+    std::cout << "Trace written to " << opt.trace_path
+              << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  if (!opt.counters_path.empty()) {
+    std::ofstream out{opt.counters_path};
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.counters_path << " for writing\n";
+      return 1;
+    }
+    observer->write_counters_csv(out);
+    std::cout << "Counter CSV written to " << opt.counters_path << "\n";
   }
   return 0;
 }

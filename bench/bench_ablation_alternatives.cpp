@@ -52,6 +52,7 @@ BENCHMARK(BM_BwThrottleRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_alternatives();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -57,6 +57,7 @@ BENCHMARK(BM_CoolPimSwRun)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_cf_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

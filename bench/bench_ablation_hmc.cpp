@@ -7,6 +7,8 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/device.hpp"
 
 using namespace coolpim;
@@ -83,6 +85,7 @@ BENCHMARK(BM_DeviceTraffic)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_page_policy();
   print_latency();
   benchmark::Initialize(&argc, argv);

@@ -65,6 +65,7 @@ BENCHMARK(BM_PeiRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_offload_policy();
   print_coalescing();
   benchmark::Initialize(&argc, argv);

@@ -76,6 +76,7 @@ BENCHMARK(BM_PolicyRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_margin_sweep();
   print_target_sweep();
   print_epoch_sweep();

@@ -48,6 +48,7 @@ BENCHMARK(BM_EnergyExtraction);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_energy();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "sys/system.hpp"
 
 using namespace coolpim;
@@ -57,6 +59,7 @@ BENCHMARK(BM_ExtendedRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_extended();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

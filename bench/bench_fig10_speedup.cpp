@@ -62,6 +62,7 @@ BENCHMARK_CAPTURE(BM_SystemRun, dc_naive, "dc", sys::Scenario::kNaiveOffloading)
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig10();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

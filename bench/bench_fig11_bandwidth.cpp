@@ -46,6 +46,7 @@ BENCHMARK(BM_ConsumptionAccounting);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig11();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

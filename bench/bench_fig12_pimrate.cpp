@@ -44,6 +44,7 @@ BENCHMARK(BM_PimRateExtraction);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig12();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

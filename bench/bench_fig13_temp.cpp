@@ -50,6 +50,7 @@ BENCHMARK(BM_TempExtraction);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig13();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

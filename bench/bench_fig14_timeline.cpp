@@ -77,6 +77,7 @@ BENCHMARK(BM_TransientRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig14();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/config.hpp"
 #include "hmc/thermal_policy.hpp"
 #include "thermal/hmc_thermal.hpp"
@@ -70,6 +72,7 @@ BENCHMARK(BM_PrototypeSteadySolve)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

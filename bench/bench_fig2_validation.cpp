@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/config.hpp"
 #include "thermal/hmc_thermal.hpp"
 #include "thermal_points.hpp"
@@ -62,6 +64,7 @@ BENCHMARK(BM_ValidationSolve)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

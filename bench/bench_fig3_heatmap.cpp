@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/config.hpp"
 #include "thermal/hmc_thermal.hpp"
 #include "thermal_points.hpp"
@@ -70,6 +72,7 @@ BENCHMARK(BM_HeatmapExtraction);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig3();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

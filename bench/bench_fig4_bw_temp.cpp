@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/config.hpp"
 #include "thermal/hmc_thermal.hpp"
 #include "thermal_points.hpp"
@@ -58,6 +60,7 @@ BENCHMARK(BM_Fig4Sweep)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/config.hpp"
 #include "hmc/thermal_policy.hpp"
 #include "thermal/hmc_thermal.hpp"
@@ -59,6 +61,7 @@ BENCHMARK(BM_Fig5Point)->Arg(13)->Arg(40)->Arg(65)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_fig5();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "gpu/detailed.hpp"
 
 using namespace coolpim;
@@ -77,6 +79,7 @@ BENCHMARK(BM_DetailedWarps)->Arg(16)->Arg(256)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_occupancy_roofline();
   print_pim_throughput();
   benchmark::Initialize(&argc, argv);

@@ -82,6 +82,7 @@ BENCHMARK(BM_MultiCubeRun)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_scaling();
   print_skew();
   benchmark::Initialize(&argc, argv);

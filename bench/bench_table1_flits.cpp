@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "hmc/device.hpp"
 #include "hmc/packet.hpp"
 
@@ -55,6 +57,7 @@ BENCHMARK_CAPTURE(BM_DeviceTransaction, pim_with_return, hmc::TransactionType::k
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_table1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

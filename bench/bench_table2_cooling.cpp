@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "power/cooling.hpp"
 
 using namespace coolpim;
@@ -45,6 +47,7 @@ BENCHMARK(BM_FanCurveLookup);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_table2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

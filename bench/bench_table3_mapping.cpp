@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+
+#include "support.hpp"
 #include "core/translate.hpp"
 
 using namespace coolpim;
@@ -53,6 +55,7 @@ BENCHMARK(BM_OffloadMapping);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coolpim::bench::init_observability(&argc, argv);
   print_table3();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,11 +1,83 @@
 #include "support.hpp"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <iterator>
+#include <optional>
+#include <unordered_set>
 
+#include "obs/observer.hpp"
 #include "runner/experiment.hpp"
 
 namespace coolpim::bench {
+
+namespace {
+
+/// Process-wide observability sink shared by every run the bench issues.
+/// Output files are flushed from the destructor at normal process exit.
+struct ObsState {
+  std::string trace_path;
+  std::string counters_path;
+  std::optional<obs::SweepObserver> obs;
+  /// Experiment keys already recorded; micro-phase repeats of a table-phase
+  /// run are served from the result cache instead of being re-traced.
+  std::unordered_set<std::uint64_t> seen;
+
+  ObsState() {
+    if (const char* t = std::getenv("COOLPIM_TRACE")) trace_path = t;
+    if (const char* c = std::getenv("COOLPIM_COUNTERS")) counters_path = c;
+    refresh();
+  }
+
+  void refresh() {
+    if (!obs && (!trace_path.empty() || !counters_path.empty())) {
+      obs.emplace(!trace_path.empty(), !counters_path.empty());
+    }
+  }
+
+  ~ObsState() {
+    if (!obs) return;
+    if (!trace_path.empty()) {
+      std::ofstream out{trace_path};
+      if (out) {
+        obs->write_trace(out);
+        std::cerr << "Trace written to " << trace_path << "\n";
+      }
+    }
+    if (!counters_path.empty()) {
+      std::ofstream out{counters_path};
+      if (out) {
+        obs->write_counters_csv(out);
+        std::cerr << "Counter CSV written to " << counters_path << "\n";
+      }
+    }
+  }
+};
+
+ObsState& obs_state() {
+  static ObsState state;
+  return state;
+}
+
+}  // namespace
+
+void init_observability(int* argc, char** argv) {
+  auto& state = obs_state();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_counters = std::strcmp(argv[i], "--counters") == 0;
+    if ((is_trace || is_counters) && i + 1 < *argc) {
+      (is_trace ? state.trace_path : state.counters_path) = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  state.refresh();
+}
 
 unsigned bench_scale() {
   if (const char* env = std::getenv("COOLPIM_SCALE")) {
@@ -25,15 +97,38 @@ sys::RunResult run_one(const std::string& workload, sys::Scenario scenario,
   // Routed through the runner so the micro phases of a bench binary reuse
   // the table phase's cached results for identical (workload, scenario,
   // config) triples.
-  return runner::run_one(workloads(), workload, scenario, base);
+  runner::RunOptions opt;
+  auto& state = obs_state();
+  if (state.obs) {
+    sys::SystemConfig keyed = base;
+    keyed.scenario = scenario;
+    if (state.seen.insert(runner::experiment_key(workloads(), workload, keyed)).second) {
+      opt.obs = &*state.obs;
+    }
+  }
+  return runner::run_one(workloads(), workload, scenario, base, opt);
 }
 
 const std::vector<ScenarioRow>& scenario_matrix() {
   static const std::vector<ScenarioRow> matrix = [] {
     const std::vector<sys::Scenario> scenarios{std::begin(sys::kAllScenarios),
                                                std::end(sys::kAllScenarios)};
+    runner::RunOptions opt;
+    auto& state = obs_state();
+    if (state.obs) {
+      opt.obs = &*state.obs;
+      // Mark every matrix cell as recorded so later run_one() calls on the
+      // same experiments reuse the cache instead of re-tracing.
+      for (const auto& w : sys::workload_names()) {
+        for (const auto s : scenarios) {
+          sys::SystemConfig keyed;
+          keyed.scenario = s;
+          state.seen.insert(runner::experiment_key(workloads(), w, keyed));
+        }
+      }
+    }
     auto computed =
-        runner::run_matrix(workloads(), sys::workload_names(), scenarios);
+        runner::run_matrix(workloads(), sys::workload_names(), scenarios, {}, opt);
     std::vector<ScenarioRow> rows;
     rows.reserve(computed.size());
     for (auto& r : computed) {

@@ -43,4 +43,14 @@ struct ScenarioRow {
 [[nodiscard]] sys::RunResult run_one(const std::string& workload, sys::Scenario scenario,
                                      const sys::SystemConfig& base = {});
 
+/// Observability for bench binaries: call first in main() to strip
+/// `--trace FILE` / `--counters FILE` from argv (before
+/// benchmark::Initialize swallows the argument list); the COOLPIM_TRACE /
+/// COOLPIM_COUNTERS environment variables work for any bench without the
+/// call.  Each *distinct* experiment the bench runs is recorded once (keyed
+/// by runner::experiment_key, so google-benchmark's repeat loops reuse the
+/// result cache instead of re-tracing), and the files are written when the
+/// process exits.  Schema: docs/OBSERVABILITY.md.
+void init_observability(int* argc, char** argv);
+
 }  // namespace coolpim::bench

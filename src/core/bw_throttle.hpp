@@ -33,10 +33,14 @@ class BwThrottleController final : public ThrottleController {
   void on_thermal_warning(Time now) override {
     ++warnings_;
     if (accepted_once_ && now - last_accepted_ < cfg_.settle_window) return;
+    const double before = admit_;
     admit_ = std::max(cfg_.floor, admit_ * (1.0 - cfg_.reduction_step));
     last_accepted_ = now;
     accepted_once_ = true;
     ++reductions_;
+    if (trace_.enabled()) {
+      trace_.instant(now, "core", "bw_admit_reduce", {{"from", before}, {"to", admit_}});
+    }
   }
 
   bool acquire_block(Time) override { return true; }

@@ -15,12 +15,19 @@
 #include <string_view>
 
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 
 namespace coolpim::core {
 
 class ThrottleController {
  public:
   virtual ~ThrottleController() = default;
+
+  /// Attach a trace sink (category "core"): controllers emit instant events
+  /// for every control action -- PTP pool shrinks, warp disables, blanket
+  /// admission changes -- and complete-spans for their reaction latencies.
+  /// Observation only; never changes throttling decisions.
+  void set_trace(obs::Trace trace) { trace_ = trace; }
 
   /// Thermal warning received by the host at `now` (already includes the
   /// thermal sensing delay).  Implementations apply their own T_throttle.
@@ -47,13 +54,19 @@ class ThrottleController {
   /// Fraction of the GPU's *total* demand admitted (blanket bandwidth
   /// throttling; 1.0 for source-selective mechanisms).
   [[nodiscard]] virtual double demand_scale(Time) const { return 1.0; }
+
+ protected:
+  obs::Trace trace_;
 };
 
 /// Offloads everything, ignores warnings: the paper's naive-offloading
 /// configuration (PEI-style, no source control).
 class NaiveController final : public ThrottleController {
  public:
-  void on_thermal_warning(Time) override { ++warnings_; }
+  void on_thermal_warning(Time now) override {
+    ++warnings_;
+    trace_.instant(now, "core", "warning_ignored");
+  }
   bool acquire_block(Time) override { return true; }
   void release_block(Time) override {}
   [[nodiscard]] double pim_warp_fraction(Time) const override { return 1.0; }

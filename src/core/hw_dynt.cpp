@@ -16,6 +16,12 @@ void HwDynT::on_thermal_warning(Time now) {
   last_accepted_ = now;
   accepted_once_ = true;
   ++reductions_;
+  if (trace_.enabled()) {
+    // PCU update latency as a span, the warp-disable step as an instant.
+    trace_.complete(now, cfg_.throttle_delay, "core", "hw_dynt_pcu_update");
+    trace_.instant(now, "core", "warp_disable",
+                   {{"from", previous_warps_}, {"to", enabled_warps_}});
+  }
 }
 
 double HwDynT::pim_warp_fraction(Time now) const {

@@ -19,23 +19,29 @@ void SwDynT::on_thermal_warning(Time now) {
   pending_until_ = now + cfg_.throttle_delay;
   last_update_ = now;
   updated_once_ = true;
+  // The accepted warning's interrupt-to-effect latency as a span.
+  trace_.complete(now, cfg_.throttle_delay, "core", "sw_dynt_interrupt");
+}
+
+void SwDynT::apply_pending_shrink(Time now) {
+  const std::uint32_t before = pool_.size();
+  pool_.shrink(cfg_.control_factor);
+  has_pending_ = false;
+  if (trace_.enabled()) {
+    trace_.instant(now, "core", "ptp_shrink",
+                   {{"from", before}, {"to", pool_.size()}, {"issued", pool_.issued()}});
+  }
 }
 
 bool SwDynT::acquire_block(Time now) {
-  if (has_pending_ && now >= pending_until_) {
-    pool_.shrink(cfg_.control_factor);
-    has_pending_ = false;
-  }
+  if (has_pending_ && now >= pending_until_) apply_pending_shrink(now);
   if (pool_.try_acquire()) return true;
   ++shadow_launches_;
   return false;
 }
 
 void SwDynT::release_block(Time now) {
-  if (has_pending_ && now >= pending_until_) {
-    pool_.shrink(cfg_.control_factor);
-    has_pending_ = false;
-  }
+  if (has_pending_ && now >= pending_until_) apply_pending_shrink(now);
   pool_.release();
 }
 

@@ -44,6 +44,8 @@ class SwDynT final : public ThrottleController {
   [[nodiscard]] std::uint64_t shadow_launches() const { return shadow_launches_; }
 
  private:
+  void apply_pending_shrink(Time now);
+
   SwDynTConfig cfg_;
   std::uint32_t initial_size_;
   TokenPool pool_;

@@ -39,9 +39,11 @@ void ExecutionEngine::begin_launch(Time now) {
   resident_.clear();
   blocks_launched_ = 0;
   resident_pim_ = 0;
+  launch_began_ = now;
   if (launch_idx_ < launches_.size()) {
     refill_residency(now);
     stats_.counter("kernel_launches").add();
+    if (counters_) counters_->counter("gpu/kernel_launches").add();
   }
 }
 
@@ -67,6 +69,7 @@ void ExecutionEngine::retire_blocks(Time now, double count) {
       controller_.release_block(now);
     }
     stats_.counter("blocks_retired").add();
+    if (counters_) counters_->counter("gpu/blocks_retired").add();
   }
   refill_residency(now);
 }
@@ -159,10 +162,23 @@ Time ExecutionEngine::commit(Time now, Time window, const hmc::EpochService& ser
   stats_.counter("host_atomics").add(static_cast<std::uint64_t>(
       launch.mem.atomic_ops * advance * (1.0 - pim_fraction(now)) + 0.5));
   stats_.summary("pim_fraction").record(pim_fraction(now));
+  if (counters_) {
+    counters_->counter("gpu/pim_ops").add(static_cast<std::uint64_t>(service.pim_ops + 0.5));
+    counters_->counter("gpu/host_atomics")
+        .add(static_cast<std::uint64_t>(
+            launch.mem.atomic_ops * advance * (1.0 - pim_fraction(now)) + 0.5));
+    counters_->gauge("gpu/pim_fraction").set(pim_fraction(now));
+  }
 
   retire_blocks(now, advance * static_cast<double>(launch.blocks));
 
   if (prog_.fraction_done >= 1.0 - 1e-9) {
+    if (trace_.enabled()) {
+      trace_.complete(launch_began_, now - launch_began_, "gpu", "kernel_launch",
+                      {{"launch", static_cast<std::uint64_t>(launch_idx_)},
+                       {"blocks", launch.blocks},
+                       {"warps", launch.warps}});
+    }
     // Launch complete: release any tokens still held and move on.  Consume
     // the full window (the tail fraction is sub-epoch noise).
     while (!resident_.empty()) {

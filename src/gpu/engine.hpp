@@ -25,6 +25,8 @@
 #include "gpu/config.hpp"
 #include "graph/profile.hpp"
 #include "hmc/throughput_model.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace coolpim::gpu {
 
@@ -70,6 +72,14 @@ class ExecutionEngine {
   [[nodiscard]] const StatSet& stats() const { return stats_; }
   [[nodiscard]] StatSet& stats() { return stats_; }
 
+  /// Attach observability (category "gpu"): a complete-span per kernel
+  /// launch (queued -> retired) and hierarchical counters mirroring the
+  /// engine's StatSet.  Read-only; execution is identical with or without.
+  void set_observer(obs::Trace trace, obs::CounterRegistry* counters = nullptr) {
+    trace_ = trace;
+    counters_ = counters;
+  }
+
   /// Per-launch kernel dispatch overhead (driver + runtime).
   Time launch_overhead{Time::us(5.0)};
 
@@ -91,12 +101,15 @@ class ExecutionEngine {
 
   std::size_t launch_idx_{0};
   Progress prog_{};
+  Time launch_began_{Time::zero()};
   // Residency: flags for resident blocks, true = holds a PIM token.
   std::deque<bool> resident_;
   std::uint64_t blocks_launched_{0};
   std::uint64_t resident_pim_{0};
 
   StatSet stats_;
+  obs::Trace trace_;
+  obs::CounterRegistry* counters_{nullptr};
 };
 
 }  // namespace coolpim::gpu

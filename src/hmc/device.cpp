@@ -56,11 +56,34 @@ void Device::submit(const Request& req, ResponseCallback on_response) {
   payload_bytes_ += payload_bytes(req.type);
   stats_.counter("requests").add();
   stats_.summary("latency_ns").record((resp_done - now).as_ns());
+  if (counters_ != nullptr) {
+    counters_->counter("hmc/requests").add();
+    counters_->counter("hmc/req_flits").add(cost.request);
+    counters_->counter("hmc/resp_flits").add(cost.response);
+    counters_->counter("hmc/payload_bytes").add(payload_bytes(req.type));
+  }
 
   Response resp{};
   resp.tag = req.tag;
   resp.errstat = warning_active() ? ErrStat::kThermalWarning : ErrStat::kOk;
-  if (resp.errstat == ErrStat::kThermalWarning) stats_.counter("thermal_warnings").add();
+  if (resp.errstat == ErrStat::kThermalWarning) {
+    stats_.counter("thermal_warnings").add();
+    if (counters_ != nullptr) counters_->counter("hmc/thermal_warnings").add();
+  }
+
+  if (trace_.enabled()) {
+    trace_.complete(now, resp_done - now, "hmc", "request",
+                    {{"type", static_cast<int>(req.type)},
+                     {"vault", static_cast<std::uint64_t>(loc.vault)},
+                     {"bank", static_cast<std::uint64_t>(loc.bank)},
+                     {"req_flits", cost.request},
+                     {"resp_flits", cost.response}});
+    trace_.counter(now, "hmc", "link_flits", static_cast<double>(total_flits_));
+    if (resp.errstat == ErrStat::kThermalWarning) {
+      trace_.instant(resp_done, "hmc", "errstat_warning",
+                     {{"dram_c", dram_temp_.value()}, {"tag", req.tag}});
+    }
+  }
 
   sim_.schedule_at(resp_done, [cb = std::move(on_response), resp]() { cb(resp); });
 }

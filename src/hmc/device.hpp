@@ -20,6 +20,8 @@
 #include "hmc/packet.hpp"
 #include "hmc/thermal_policy.hpp"
 #include "hmc/vault.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace coolpim::hmc {
@@ -78,6 +80,15 @@ class Device {
   /// Payload bytes delivered so far.
   [[nodiscard]] std::uint64_t total_payload_bytes() const { return payload_bytes_; }
 
+  /// Attach observability (category "hmc"): a complete-span per request
+  /// (submit -> response at host) tagged with vault/bank and FLIT cost,
+  /// cumulative link-FLIT counter tracks, and an `errstat_warning` instant
+  /// for each response carrying the thermal-warning bit.  Read-only.
+  void set_observer(obs::Trace trace, obs::CounterRegistry* counters = nullptr) {
+    trace_ = trace;
+    counters_ = counters;
+  }
+
  private:
   [[nodiscard]] Time serialize_on_link(std::uint32_t flits, Time earliest);
 
@@ -104,6 +115,8 @@ class Device {
   std::uint64_t total_flits_{0};
   std::uint64_t payload_bytes_{0};
   StatSet stats_;
+  obs::Trace trace_;
+  obs::CounterRegistry* counters_{nullptr};
 };
 
 }  // namespace coolpim::hmc

@@ -1,0 +1,21 @@
+#include "obs/counters.hpp"
+
+namespace coolpim::obs {
+
+std::uint64_t CounterRegistry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(std::string{name});
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+CounterRegistry::Snapshot CounterRegistry::snapshot() const {
+  Snapshot out;
+  for (const auto& [name, cell] : counters_) {
+    out.emplace("counter/" + name, static_cast<double>(cell.value()));
+  }
+  for (const auto& [name, cell] : gauges_) {
+    out.emplace("gauge/" + name, cell.value());
+  }
+  return out;
+}
+
+}  // namespace coolpim::obs

@@ -1,0 +1,58 @@
+#include "obs/observer.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace coolpim::obs {
+
+SweepObserver::TaskRecord* SweepObserver::add_task(std::string workload, std::string scenario) {
+  std::lock_guard<std::mutex> lk{mu_};
+  TaskRecord& rec = tasks_.emplace_back();
+  rec.index = static_cast<std::uint32_t>(tasks_.size() - 1);
+  rec.workload = std::move(workload);
+  rec.scenario = std::move(scenario);
+  return &rec;
+}
+
+std::size_t SweepObserver::task_count() const {
+  std::lock_guard<std::mutex> lk{mu_};
+  return tasks_.size();
+}
+
+void SweepObserver::write_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk{mu_};
+  std::vector<TraceTrack> tracks;
+  tracks.reserve(tasks_.size());
+  for (const auto& t : tasks_) {
+    TraceTrack track;
+    track.pid = t.index;
+    track.name = t.workload + " / " + t.scenario;
+    track.buffer = &t.obs.trace_buffer;
+    tracks.push_back(track);
+  }
+  write_chrome_trace(os, tracks);
+}
+
+void SweepObserver::write_counters_csv(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk{mu_};
+  CsvWriter csv{os};
+  csv.row({"task", "workload", "scenario", "t_ms", "kind", "counter", "value"});
+  auto emit = [&](const TaskRecord& t, Time when, const CounterRegistry::Snapshot& snap) {
+    for (const auto& [key, value] : snap) {
+      // Snapshot keys are "kind/name"; split back into columns.
+      const auto slash = key.find('/');
+      COOLPIM_ASSERT(slash != std::string::npos);
+      csv.row({std::to_string(t.index), t.workload, t.scenario, CsvWriter::num(when.as_ms()),
+               key.substr(0, slash), key.substr(slash + 1), CsvWriter::num(value)});
+    }
+  };
+  for (const auto& t : tasks_) {
+    for (const auto& mark : t.obs.counters.marks()) emit(t, mark.when, mark.values);
+    emit(t, t.exec_time, t.obs.counters.snapshot());
+  }
+}
+
+}  // namespace coolpim::obs

@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace coolpim::obs {
+
+namespace {
+
+/// Deterministic shortest-ish rendering for numeric argument values: %.9g is
+/// locale-independent and stable across platforms for the magnitudes the
+/// simulator produces.
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Timestamps: simulated picoseconds -> the format's microsecond floats.
+/// Fixed three decimals (nanosecond resolution) keeps the output byte-stable.
+std::string format_ts(Time t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", t.as_us());
+  return buf;
+}
+
+void write_args(std::ostream& os, const TraceArgs& args) {
+  os << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(args[i].key) << "\":";
+    if (args[i].number) os << args[i].value;
+    else os << '"' << json_escape(args[i].value) << '"';
+  }
+  os << '}';
+}
+
+void write_event(std::ostream& os, std::uint32_t pid, const TraceEvent& e) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"" << json_escape(e.cat)
+     << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << format_ts(e.ts) << ",\"pid\":" << pid
+     << ",\"tid\":0";
+  if (e.phase == 'X') os << ",\"dur\":" << format_ts(e.dur);
+  if (e.phase == 'i') os << ",\"s\":\"p\"";  // process-scoped instant
+  os << ',';
+  if (e.phase == 'C') {
+    // Counter events carry their value as the single argument.
+    COOLPIM_ASSERT(e.args.size() == 1);
+    write_args(os, e.args);
+  } else {
+    write_args(os, e.args);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+TraceArg::TraceArg(std::string k, double v)
+    : key{std::move(k)}, value{format_double(v)}, number{true} {}
+
+TraceArg::TraceArg(std::string k, std::uint64_t v) : key{std::move(k)}, number{true} {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  value = buf;
+}
+
+TraceArg::TraceArg(std::string k, std::int64_t v) : key{std::move(k)}, number{true} {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  value = buf;
+}
+
+void TraceBuffer::begin(Time ts, std::string_view cat, std::string_view name, TraceArgs args) {
+  events_.push_back(TraceEvent{'B', ts, Time::zero(), std::string{cat}, std::string{name},
+                               std::move(args)});
+  ++open_;
+}
+
+void TraceBuffer::end(Time ts) {
+  COOLPIM_ASSERT_MSG(open_ > 0, "trace end() without a matching begin()");
+  --open_;
+  events_.push_back(TraceEvent{'E', ts, Time::zero(), {}, {}, {}});
+}
+
+void TraceBuffer::complete(Time ts, Time dur, std::string_view cat, std::string_view name,
+                           TraceArgs args) {
+  events_.push_back(TraceEvent{'X', ts, dur, std::string{cat}, std::string{name},
+                               std::move(args)});
+}
+
+void TraceBuffer::instant(Time ts, std::string_view cat, std::string_view name, TraceArgs args) {
+  events_.push_back(TraceEvent{'i', ts, Time::zero(), std::string{cat}, std::string{name},
+                               std::move(args)});
+}
+
+void TraceBuffer::counter(Time ts, std::string_view cat, std::string_view name, double value) {
+  events_.push_back(TraceEvent{'C', ts, Time::zero(), std::string{cat}, std::string{name},
+                               TraceArgs{TraceArg{"value", value}}});
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceTrack>& tracks) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& track : tracks) {
+    if (!first) os << ',';
+    first = false;
+    // Process-name metadata so chrome://tracing labels each task's track.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << track.pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(track.name) << "\"}}";
+    if (!track.buffer) continue;
+    for (const auto& e : track.buffer->events()) {
+      os << ',';
+      write_event(os, track.pid, e);
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace coolpim::obs

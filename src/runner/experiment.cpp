@@ -1,5 +1,7 @@
 #include "runner/experiment.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -57,9 +59,16 @@ ResultCache& cache() {
   return c;
 }
 
-sys::RunResult run_task(const sys::WorkloadSet& set, const Experiment& e, bool use_cache) {
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+sys::RunResult run_task(const sys::WorkloadSet& set, const Experiment& e, bool use_cache,
+                        obs::SweepObserver::TaskRecord* rec = nullptr) {
   const std::uint64_t key = experiment_key(set, e.workload, e.config);
-  if (use_cache) {
+  if (use_cache && rec == nullptr) {
     auto& c = cache();
     std::lock_guard<std::mutex> lk{c.mu};
     if (auto it = c.entries.find(key); it != c.entries.end()) {
@@ -70,8 +79,36 @@ sys::RunResult run_task(const sys::WorkloadSet& set, const Experiment& e, bool u
   }
   sys::SystemConfig cfg = e.config;
   cfg.run_seed = derive_seed(key);
+  if (rec != nullptr) {
+    // Observed tasks never take the cache shortcut (a cached RunResult
+    // carries no trace); note whether the result was already cached.
+    rec->key = key;
+    rec->seed = cfg.run_seed;
+    {
+      auto& c = cache();
+      std::lock_guard<std::mutex> lk{c.mu};
+      rec->cache_hit = c.entries.find(key) != c.entries.end();
+    }
+    cfg.observer = &rec->obs;
+  }
   sys::System system{cfg};
   sys::RunResult result = system.run(set.profile(e.workload));
+  if (rec != nullptr) {
+    rec->exec_time = result.exec_time;
+    // Top-level "runner" span over everything the task recorded (warm-up
+    // included), tagged with the stable key and the seed derived from it.
+    Time span_end = result.exec_time;
+    for (const auto& ev : rec->obs.trace_buffer.events()) {
+      span_end = std::max(span_end, ev.ts + ev.dur);
+    }
+    rec->obs.trace_buffer.complete(
+        Time::zero(), span_end, "runner", "task",
+        {{"workload", e.workload},
+         {"scenario", result.scenario},
+         {"key", hex64(key)},
+         {"seed", hex64(cfg.run_seed)},
+         {"cache_hit", rec->cache_hit}});
+  }
   if (use_cache) {
     auto& c = cache();
     std::lock_guard<std::mutex> lk{c.mu};
@@ -119,8 +156,16 @@ std::vector<sys::RunResult> run_sweep(const sys::WorkloadSet& set,
   std::vector<sys::RunResult> results(experiments.size());
   Pool pool{opt.jobs};
   for (std::size_t i = 0; i < experiments.size(); ++i) {
-    pool.submit([&set, &experiments, &results, &opt, i] {
-      results[i] = run_task(set, experiments[i], opt.use_cache);
+    // Observer slots are allocated here, on the submitting thread, so the
+    // record order (and the merged output files) match submission order no
+    // matter how the pool schedules the tasks.
+    obs::SweepObserver::TaskRecord* rec = nullptr;
+    if (opt.obs != nullptr) {
+      rec = opt.obs->add_task(experiments[i].workload,
+                              std::string{sys::to_string(experiments[i].config.scenario)});
+    }
+    pool.submit([&set, &experiments, &results, &opt, i, rec] {
+      results[i] = run_task(set, experiments[i], opt.use_cache, rec);
     });
   }
   pool.wait();
@@ -163,7 +208,11 @@ sys::RunResult run_one(const sys::WorkloadSet& set, const std::string& workload,
   e.workload = workload;
   e.config = base;
   e.config.scenario = scenario;
-  return run_task(set, e, opt.use_cache);
+  obs::SweepObserver::TaskRecord* rec = nullptr;
+  if (opt.obs != nullptr) {
+    rec = opt.obs->add_task(e.workload, std::string{sys::to_string(scenario)});
+  }
+  return run_task(set, e, opt.use_cache, rec);
 }
 
 CacheStats cache_stats() {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sys/system.hpp"
 
 namespace coolpim::runner {
@@ -39,6 +40,13 @@ struct RunOptions {
   unsigned jobs{0};
   /// Consult/populate the process-wide result cache.
   bool use_cache{true};
+  /// Sweep-level observability collector (nullptr = no recording).  Each
+  /// task gets its own RunObserver, allocated on the submitting thread in
+  /// submission order, so the merged trace/counter files are byte-identical
+  /// at any jobs count.  An observed task always executes the simulation --
+  /// the result cache is only *populated*, never short-circuited, because a
+  /// cached RunResult carries no trace.
+  obs::SweepObserver* obs{nullptr};
 };
 
 /// Stable hash of every behaviour-affecting SystemConfig field (run_seed

@@ -26,7 +26,14 @@ Time Simulation::run_until(Time deadline) {
     auto [t, action] = queue_.pop();
     now_ = t;
     ++events_processed_;
-    action();
+    if (trace_.enabled()) {
+      trace_.counter(now_, "sim", "queue_depth", static_cast<double>(queue_.size()));
+      obs::ScopedSpan span{trace_, now_, "sim", "dispatch"};
+      action();
+    } else {
+      action();
+    }
+    if (counters_) counters_->counter("sim/events_dispatched").add();
   }
   if (queue_.empty() && deadline != Time::max() && now_ < deadline) now_ = deadline;
   return now_;

@@ -12,6 +12,8 @@
 
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 
 namespace coolpim::sim {
@@ -22,6 +24,14 @@ class Simulation {
 
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] Logger& logger() { return logger_; }
+
+  /// Attach observability (docs/OBSERVABILITY.md): a span per dispatched
+  /// event plus a queue-depth counter sample, category "sim".  Both hooks are
+  /// read-only and null by default (zero overhead, results unperturbed).
+  void set_observer(obs::Trace trace, obs::CounterRegistry* counters = nullptr) {
+    trace_ = trace;
+    counters_ = counters;
+  }
 
   /// One-shot event after a delay from now.
   void schedule_in(Time delay, EventAction action) {
@@ -54,6 +64,8 @@ class Simulation {
   bool stop_requested_{false};
   std::uint64_t events_processed_{0};
   Logger logger_;
+  obs::Trace trace_;
+  obs::CounterRegistry* counters_{nullptr};
 };
 
 }  // namespace coolpim::sim

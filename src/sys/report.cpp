@@ -6,11 +6,33 @@
 
 namespace coolpim::sys {
 
+const std::vector<std::string_view>& summary_csv_columns() {
+  static const std::vector<std::string_view> cols{
+      "workload",      "scenario",     "exec_ms",          "link_data_gbps",
+      "pim_rate_op_per_ns", "consumption_bytes", "peak_dram_c", "start_dram_c",
+      "thermal_warnings",   "time_derated_ms",   "cube_energy_j", "fan_energy_j",
+      "shut_down"};
+  return cols;
+}
+
+const std::vector<std::string_view>& timeseries_csv_columns() {
+  static const std::vector<std::string_view> cols{
+      "workload", "scenario", "t_ms", "pim_rate_op_per_ns", "peak_dram_c", "link_data_gbps"};
+  return cols;
+}
+
+namespace {
+
+void header_row(CsvWriter& csv, const std::vector<std::string_view>& cols) {
+  std::vector<std::string> cells{cols.begin(), cols.end()};
+  csv.row(cells);
+}
+
+}  // namespace
+
 void write_summary_csv(std::ostream& os, const std::vector<RunResult>& runs) {
   CsvWriter csv{os};
-  csv.row({"workload", "scenario", "exec_ms", "link_data_gbps", "pim_rate_op_per_ns",
-           "consumption_bytes", "peak_dram_c", "start_dram_c", "thermal_warnings",
-           "time_derated_ms", "cube_energy_j", "fan_energy_j", "shut_down"});
+  header_row(csv, summary_csv_columns());
   for (const auto& r : runs) {
     csv.row({r.workload, r.scenario, CsvWriter::num(r.exec_time.as_ms()),
              CsvWriter::num(r.avg_link_data_gbps()),
@@ -24,8 +46,7 @@ void write_summary_csv(std::ostream& os, const std::vector<RunResult>& runs) {
 
 void write_timeseries_csv(std::ostream& os, const std::vector<RunResult>& runs) {
   CsvWriter csv{os};
-  csv.row({"workload", "scenario", "t_ms", "pim_rate_op_per_ns", "peak_dram_c",
-           "link_data_gbps"});
+  header_row(csv, timeseries_csv_columns());
   for (const auto& r : runs) {
     for (std::size_t i = 0; i < r.pim_rate.size(); ++i) {
       csv.row({r.workload, r.scenario, CsvWriter::num(r.pim_rate.time_at(i).as_ms()),

@@ -1,19 +1,32 @@
 // Result export: RunResults as CSV tables (summary and time series).
+//
+// The exact column sets are exposed as summary_csv_columns() /
+// timeseries_csv_columns() so tests can assert the writers, this header and
+// docs/OBSERVABILITY.md never drift apart (tests/test_report.cpp,
+// DocsHeaderColumnSync).
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 #include <vector>
 
 #include "sys/metrics.hpp"
 
 namespace coolpim::sys {
 
+/// Header row of write_summary_csv, in emission order.
+[[nodiscard]] const std::vector<std::string_view>& summary_csv_columns();
+
+/// Header row of write_timeseries_csv, in emission order.
+[[nodiscard]] const std::vector<std::string_view>& timeseries_csv_columns();
+
 /// One summary row per run: workload, scenario, timing, traffic, thermal and
-/// energy columns.
+/// energy columns (header: summary_csv_columns()).
 void write_summary_csv(std::ostream& os, const std::vector<RunResult>& runs);
 
-/// Long-format time series: one row per sample per run
-/// (workload, scenario, t_ms, pim_rate, dram_temp, link_gbps).
+/// Long-format time series: one row per sample per run with columns
+/// (workload, scenario, t_ms, pim_rate_op_per_ns, peak_dram_c,
+/// link_data_gbps) -- the header row is exactly timeseries_csv_columns().
 void write_timeseries_csv(std::ostream& os, const std::vector<RunResult>& runs);
 
 }  // namespace coolpim::sys

@@ -94,6 +94,15 @@ System::System(SystemConfig cfg) : cfg_{std::move(cfg)} {
 RunResult System::run(const graph::WorkloadProfile& workload) {
   COOLPIM_REQUIRE(workload.graph_vertices > 0, "workload missing graph metadata");
 
+  // Observability: null handles when no observer is attached; every record
+  // call below degenerates to one predictable branch.
+  obs::Trace tr;
+  obs::CounterRegistry* ctr = nullptr;
+  if (cfg_.observer != nullptr) {
+    tr = cfg_.observer->trace();
+    ctr = &cfg_.observer->counters;
+  }
+
   const hmc::ThroughputModel hmc_model{cfg_.hmc, cfg_.policy};
   const hmc::LinkModel& link = hmc_model.link();
   const bool ideal = cfg_.scenario == Scenario::kIdealThermal;
@@ -120,9 +129,12 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
       est_time > 0.0 ? est_atomics / est_time * 1e-9 : 0.0;
 
   auto controller = make_controller(cfg_, workload, link, naive_rate_estimate);
+  controller->set_trace(tr);
   gpu::ExecutionEngine engine{cfg_.gpu, std::move(launches), *controller};
+  engine.set_observer(tr, ctr);
 
   thermal::HmcThermalModel therm{thermal::hmc20_thermal_config(cfg_.cooling)};
+  therm.set_observer(tr, ctr, cfg_.policy.warning_threshold);
   // Initial thermal state: the device has been serving the surrounding
   // application's regular (non-PIM) traffic at full link bandwidth, so start
   // from that steady state (~81 C with commodity cooling) unless overridden.
@@ -171,6 +183,8 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
   auto run_pass = [&](Time epoch, bool measure) -> PassOutcome {
     engine.restart();
     const Time pass_start = now;
+    obs::ScopedSpan pass_span{tr, now, "sim", measure ? "measured_pass" : "warmup_pass",
+                              {{"epoch_us", epoch.as_us()}}};
     Celsius pass_peak = therm.peak_dram();
     double tot_raw = 0.0, tot_internal = 0.0, tot_pim = 0.0;
     double dem_reads = 0.0, dem_writes = 0.0, dem_pims = 0.0;
@@ -193,6 +207,9 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
           // Conservative device behaviour: stop, cool, lose data (paper
           // III-A.2); account the recovery and restart the pass cold.
           result.shut_down = true;
+          tr.instant(now, "sys", "thermal_shutdown",
+                     {{"recovery_ms", cfg_.shutdown_recovery.as_ms()}});
+          if (ctr != nullptr) ctr->counter("sys/shutdowns").add();
           now += cfg_.shutdown_recovery;
           therm.reset();
           engine.restart();
@@ -221,7 +238,24 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
           ideal ? 0 : std::min(2, static_cast<int>(cfg_.policy.phase(therm.peak_dram())));
       const auto pb = power::compute_power(cfg_.energy, op, level);
       therm.apply_power(pb);
+      if (tr.enabled()) {
+        // The epoch ran [now - step, now): the HMC serve span covers it, and
+        // the thermal model's internal trace clock is re-anchored so its
+        // step() span lands on the same interval.
+        tr.complete(now - step, step, "hmc", "serve",
+                    {{"reads", reads},
+                     {"writes", writes},
+                     {"pim_ops", pim_ops},
+                     {"derate_level", level}});
+      }
+      therm.sync_trace_clock(now - step);
       therm.step(step);
+      if (ctr != nullptr) {
+        ctr->counter("sys/epochs").add();
+        ctr->counter("hmc/served_reads").add(static_cast<std::uint64_t>(reads + 0.5));
+        ctr->counter("hmc/served_writes").add(static_cast<std::uint64_t>(writes + 0.5));
+        ctr->counter("hmc/served_pim_ops").add(static_cast<std::uint64_t>(pim_ops + 0.5));
+      }
       if (measure) {
         result.cube_energy_j += pb.total().value() * secs;
         result.fan_energy_j += power::cooling(cfg_.cooling).fan_power_watts * secs;
@@ -237,6 +271,7 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
       // Thermal warnings ride on response packets; the host sees the sensed
       // (delayed) temperature.
       if (!ideal && cfg_.policy.warning(sensor.sensed(now))) {
+        if (ctr != nullptr) ctr->counter("sys/thermal_warnings_delivered").add();
         controller->on_thermal_warning(now);
         if (measure) ++result.thermal_warnings;
       }
@@ -252,6 +287,13 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
         result.pim_rate.record(now, mix.pim_per_sec * 1e-9);
         result.dram_temp.record(now, dram.value());
         result.link_bw.record(now, link.data_bandwidth(mix).as_gbps());
+        tr.counter(now, "sys", "pim_rate_gops", mix.pim_per_sec * 1e-9);
+        tr.counter(now, "sys", "link_data_gbps", link.data_bandwidth(mix).as_gbps());
+        if (ctr != nullptr) {
+          ctr->gauge("sys/pim_rate_gops").set(mix.pim_per_sec * 1e-9);
+          ctr->gauge("sys/link_data_gbps").set(link.data_bandwidth(mix).as_gbps());
+          ctr->mark(now);
+        }
       }
     }
     if (measure) result.exec_time = now - pass_start;
@@ -328,9 +370,17 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
 
   result.start_dram_temp = therm.peak_dram();
   engine.stats().reset();  // warm-up traffic is not part of the measurement
+  const Time measured_start = now;
   const auto measured = run_pass(cfg_.epoch, /*measure=*/true);
   result.peak_dram_temp = ideal ? therm.config().ambient : measured.peak;
   result.host_atomics = engine.stats().counter_value("host_atomics");
+  if (tr.enabled()) {
+    // One span per controller over the measured pass so the throttle policy
+    // in force is readable directly off the "core" track.
+    tr.complete(measured_start, now - measured_start, "core", controller->name(),
+                {{"adjustments", controller->adjustments()},
+                 {"warnings_delivered", result.thermal_warnings}});
+  }
   return result;
 }
 

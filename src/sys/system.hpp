@@ -21,6 +21,7 @@
 #include "gpu/config.hpp"
 #include "hmc/config.hpp"
 #include "hmc/thermal_policy.hpp"
+#include "obs/observer.hpp"
 #include "power/cooling.hpp"
 #include "power/energy_model.hpp"
 #include "sys/metrics.hpp"
@@ -64,6 +65,12 @@ struct SystemConfig {
   Time max_time{Time::sec(5.0)};
   /// Thermal-shutdown recovery penalty (prototype measured tens of seconds).
   Time shutdown_recovery{Time::sec(10.0)};
+
+  /// Observability sink for this run (nullptr = no recording).  Like
+  /// run_seed, this is deliberately excluded from runner::config_hash: it is
+  /// not part of the experiment's identity, and recording is strictly
+  /// read-only, so results are bit-identical with or without it.
+  obs::RunObserver* observer{nullptr};
 };
 
 class System {

@@ -81,9 +81,42 @@ void HmcThermalModel::apply_power(const power::PowerBreakdown& power) {
 
 void HmcThermalModel::solve_steady() { stack_.solve_steady(); }
 
-void HmcThermalModel::step(Time dt) { stack_.step(dt); }
+void HmcThermalModel::step(Time dt) {
+  stack_.step(dt);
+  const Time began = clock_;
+  clock_ = clock_ + dt;
 
-void HmcThermalModel::reset() { stack_.reset_to_ambient(); }
+  const double dram_c = peak_dram().value();
+  const bool above = dram_c >= warn_limit_.value();
+  const bool crossed = above != above_limit_;
+  above_limit_ = above;
+
+  if (counters_ != nullptr) {
+    counters_->counter("thermal/steps").add();
+    if (crossed) counters_->counter("thermal/warning_crossings").add();
+    counters_->gauge("thermal/peak_dram_c").set(dram_c);
+    counters_->gauge("thermal/peak_logic_c").set(peak_logic().value());
+  }
+  if (trace_.enabled()) {
+    trace_.complete(began, dt, "thermal", "step", {{"peak_dram_c", dram_c}});
+    trace_.counter(clock_, "thermal", "peak_dram_c", dram_c);
+    trace_.counter(clock_, "thermal", "peak_logic_c", peak_logic().value());
+    if (crossed) {
+      obs::TraceArgs args;
+      args.emplace_back("direction", above ? "rising" : "falling");
+      args.emplace_back("limit_c", warn_limit_.value());
+      for (std::size_t l = 1; l <= cfg_.dram_dies; ++l) {
+        args.emplace_back("dram" + std::to_string(l - 1) + "_c", stack_.layer_peak(l).value());
+      }
+      trace_.instant(clock_, "thermal", "warning_crossing", std::move(args));
+    }
+  }
+}
+
+void HmcThermalModel::reset() {
+  stack_.reset_to_ambient();
+  above_limit_ = false;
+}
 
 Celsius HmcThermalModel::peak_dram() const {
   return stack_.peak_over_layers(1, cfg_.dram_dies);

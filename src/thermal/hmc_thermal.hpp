@@ -13,6 +13,8 @@
 #include <cstddef>
 
 #include "common/units.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "power/cooling.hpp"
 #include "power/energy_model.hpp"
 #include "thermal/floorplan.hpp"
@@ -84,11 +86,31 @@ class HmcThermalModel {
   /// Logic-layer temperature field (for heat maps, paper Fig. 3).
   [[nodiscard]] std::vector<double> logic_heatmap() const { return stack_.layer_field(0); }
 
+  /// Attach observability (category "thermal"): a complete-span per step()
+  /// with peak temperatures, peak_dram_c/peak_logic_c counter tracks, and a
+  /// `warning_crossing` instant (with per-die temperatures) whenever the
+  /// peak DRAM temperature crosses `warn_limit`.  step() has no absolute-time
+  /// parameter, so events are stamped with an internal clock the driver
+  /// re-syncs via sync_trace_clock() each epoch.  Recording is read-only;
+  /// the thermal solution is unaffected.
+  void set_observer(obs::Trace trace, obs::CounterRegistry* counters, Celsius warn_limit) {
+    trace_ = trace;
+    counters_ = counters;
+    warn_limit_ = warn_limit;
+  }
+  void sync_trace_clock(Time now) { clock_ = now; }
+
  private:
   [[nodiscard]] static StackSpec build_stack_spec(const HmcThermalConfig& cfg);
 
   HmcThermalConfig cfg_;
   StackModel stack_;
+
+  obs::Trace trace_;
+  obs::CounterRegistry* counters_{nullptr};
+  Celsius warn_limit_{85.0};
+  Time clock_{Time::zero()};
+  bool above_limit_{false};
 };
 
 }  // namespace coolpim::thermal

@@ -1,7 +1,10 @@
-// Tests for the CSV writer and result export.
+// Tests for the CSV writer and result export, including the docs/header sync
+// check that pins report.hpp's documented column lists to the emitted headers
+// and to docs/OBSERVABILITY.md.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "common/csv.hpp"
@@ -82,6 +85,46 @@ TEST(ReportTest, TimeseriesLongFormat) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
   EXPECT_NE(out.find("t_ms"), std::string::npos);
   EXPECT_NE(out.find("dc,CoolPIM (HW),0,1,80,200"), std::string::npos);
+}
+
+std::string join(const std::vector<std::string_view>& cols) {
+  std::string out;
+  for (const auto c : cols) {
+    if (!out.empty()) out += ',';
+    out += c;
+  }
+  return out;
+}
+
+std::string first_line(const std::string& s) { return s.substr(0, s.find('\n')); }
+
+// The column lists in report.hpp are the documented schema: they must match
+// what the writers actually emit, and every column must be named in
+// docs/OBSERVABILITY.md (referenced from the report.hpp header comment).
+TEST(ReportTest, DocsHeaderColumnSync) {
+  std::ostringstream summary;
+  sys::write_summary_csv(summary, {});
+  EXPECT_EQ(first_line(summary.str()), join(sys::summary_csv_columns()));
+
+  std::ostringstream timeseries;
+  sys::write_timeseries_csv(timeseries, {});
+  EXPECT_EQ(first_line(timeseries.str()), join(sys::timeseries_csv_columns()));
+
+  std::ifstream doc{std::string{COOLPIM_DOCS_DIR} + "/OBSERVABILITY.md"};
+  ASSERT_TRUE(doc.is_open()) << "docs/OBSERVABILITY.md missing";
+  std::stringstream buf;
+  buf << doc.rdbuf();
+  const std::string text = buf.str();
+  for (const auto col : sys::summary_csv_columns()) {
+    SCOPED_TRACE(col);
+    EXPECT_NE(text.find(col), std::string::npos)
+        << "summary column not documented in docs/OBSERVABILITY.md";
+  }
+  for (const auto col : sys::timeseries_csv_columns()) {
+    SCOPED_TRACE(col);
+    EXPECT_NE(text.find(col), std::string::npos)
+        << "timeseries column not documented in docs/OBSERVABILITY.md";
+  }
 }
 
 }  // namespace

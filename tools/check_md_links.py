@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve to files.
+
+Scans the given markdown files (default: every tracked *.md plus docs/) for
+inline links and images `[text](target)`, skips external URLs and pure
+anchors, and verifies each relative target exists on disk. Exits non-zero
+listing every broken link. Stdlib only; run from anywhere:
+
+    python3 tools/check_md_links.py [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Inline links/images. Deliberately simple: no reference-style links in this
+# repo, and nested parens in URLs don't occur in relative paths.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files():
+    found = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("**/*.md"))
+    return [p for p in found if p.is_file()]
+
+
+def check_file(path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("<"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    files = [Path(a).resolve() for a in argv[1:]] or md_files()
+    failures = 0
+    for path in files:
+        for lineno, target in check_file(path):
+            print(f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --trace.
+
+Checks, with only the stdlib:
+  * the file parses as JSON with the expected top-level shape,
+  * begin/end spans nest correctly per (pid, tid) track,
+  * every event carries the required fields for its phase,
+  * (optionally) a set of categories is present: pass them as extra args.
+
+Usage:
+    python3 tools/check_trace.py trace.json [expected-category ...]
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED = {
+    "B": ("ts", "cat", "name"),
+    "E": ("ts",),
+    "X": ("ts", "dur", "cat", "name"),
+    "i": ("ts", "cat", "name"),
+    "C": ("ts", "cat", "name", "args"),
+    "M": ("name", "args"),
+}
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail(f"usage: {argv[0]} trace.json [expected-category ...]")
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty")
+
+    open_spans = defaultdict(list)
+    categories = set()
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in REQUIRED:
+            fail(f"event {i}: unknown phase {ph!r}")
+        for field in REQUIRED[ph]:
+            if field not in e:
+                fail(f"event {i} ({ph} {e.get('name', '?')}): missing {field!r}")
+        if e.get("cat"):
+            categories.add(e["cat"])
+        track = (e.get("pid", 0), e.get("tid", 0))
+        if ph == "B":
+            open_spans[track].append((e["name"], e["ts"]))
+        elif ph == "E":
+            if not open_spans[track]:
+                fail(f"event {i}: E with no open span on track {track}")
+            name, begin_ts = open_spans[track].pop()
+            if e["ts"] < begin_ts:
+                fail(f"event {i}: span {name!r} ends before it begins")
+
+    for track, spans in open_spans.items():
+        if spans:
+            fail(f"track {track}: {len(spans)} span(s) never closed: {spans}")
+
+    missing = [c for c in argv[2:] if c not in categories]
+    if missing:
+        fail(f"missing categories {missing}; present: {sorted(categories)}")
+
+    print(
+        f"ok: {len(events)} events, categories: {', '.join(sorted(categories))}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,18 @@
-// Development tool: trace per-epoch temperature/PIM-rate of one run.
+// Development tool: trace one run.
+//
+// Prints the per-epoch temperature/PIM-rate timeline and, when given output
+// paths, records the run through the obs subsystem:
+//
+//   trace_run [scale] [workload] [scenario-idx] [trace.json] [counters.csv]
+//
+// The trace JSON loads in chrome://tracing / Perfetto; both schemas are
+// documented in docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
+#include "obs/observer.hpp"
 #include "sys/system.hpp"
 
 using namespace coolpim;
@@ -11,10 +21,14 @@ int main(int argc, char** argv) {
   const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 18;
   const std::string wl_name = argc > 2 ? argv[2] : "dc";
   const int scen_idx = argc > 3 ? std::atoi(argv[3]) : 1;  // naive
+  const std::string trace_path = argc > 4 ? argv[4] : "";
+  const std::string counters_path = argc > 5 ? argv[5] : "";
 
   sys::WorkloadSet set{scale};
   sys::SystemConfig cfg;
   cfg.scenario = sys::kAllScenarios[scen_idx];
+  obs::RunObserver observer;
+  if (!trace_path.empty() || !counters_path.empty()) cfg.observer = &observer;
   sys::System system{cfg};
   const auto r = system.run(set.profile(wl_name));
 
@@ -25,6 +39,20 @@ int main(int argc, char** argv) {
     std::printf("t=%7.3fms  T=%5.1fC  pim=%4.2f op/ns  bw=%6.1f GB/s\n",
                 r.dram_temp.time_at(i).as_ms(), r.dram_temp.value_at(i),
                 r.pim_rate.value_at(i), r.link_bw.value_at(i));
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out{trace_path};
+    obs::TraceTrack track{0, r.workload + " / " + r.scenario, &observer.trace_buffer};
+    obs::write_chrome_trace(out, {track});
+    std::printf("trace: %s (%zu events)\n", trace_path.c_str(), observer.trace_buffer.size());
+  }
+  if (!counters_path.empty()) {
+    std::ofstream out{counters_path};
+    for (const auto& [name, value] : observer.counters.snapshot()) {
+      out << name << "," << value << "\n";
+    }
+    std::printf("counters: %s\n", counters_path.c_str());
   }
   return 0;
 }
