@@ -19,14 +19,23 @@ void print_fig4() {
   const hmc::LinkModel link{hmc::hmc20_config()};
   const power::EnergyParams ep;
 
+  // One persistent model per cooling solution: each bandwidth point
+  // warm-starts the steady solve from the previous point's field, which
+  // converges in a fraction of the from-ambient iteration count
+  // (docs/PERFORMANCE.md).
+  std::vector<thermal::HmcThermalModel> models;
+  models.reserve(4);
+  for (const auto type : {power::CoolingType::kPassive, power::CoolingType::kLowEndActive,
+                          power::CoolingType::kCommodityServer,
+                          power::CoolingType::kHighEndActive}) {
+    models.emplace_back(thermal::hmc20_thermal_config(type));
+  }
+
   Table t{"Fig. 4 -- Peak DRAM temperature (C) vs data bandwidth and cooling"};
   t.header({"BW (GB/s)", "Passive", "Low-end", "Commodity", "High-end"});
   for (double bw = 0.0; bw <= 320.0 + 1e-9; bw += 40.0) {
     std::vector<std::string> row{Table::num(bw, 0)};
-    for (const auto type : {power::CoolingType::kPassive, power::CoolingType::kLowEndActive,
-                            power::CoolingType::kCommodityServer,
-                            power::CoolingType::kHighEndActive}) {
-      thermal::HmcThermalModel model{thermal::hmc20_thermal_config(type)};
+    for (auto& model : models) {
       model.apply_power(power::compute_power(ep, bench::read_traffic(link, bw)));
       model.solve_steady();
       const double temp = model.peak_dram().value();

@@ -1,0 +1,201 @@
+// Perf harness for the simulation kernel, emitted as BENCH_sim.json.
+//
+// Three measurements:
+//
+//  - queue: raw event throughput through sim::Simulation / sim::EventQueue.
+//    A fan of self-rescheduling one-shot chains with co-prime periods keeps
+//    the 4-ary heap populated and exercises schedule+pop per event.  The
+//    hop functor captures one pointer, so every event stays in EventAction's
+//    inline buffer -- zero heap allocations per event.
+//
+//  - periodic: the schedule_periodic re-arm path (shared state + inline
+//    re-arm functor), as used by every component tick in the full system.
+//
+//  - end_to_end: Fig. 13-style wall time -- full sys::System runs (GPU ->
+//    HMC -> power -> thermal -> throttle loop) for representative workloads
+//    under the paper's scenarios, timed per run.
+//
+// Flags: --out FILE (default BENCH_sim.json), --quick (CI smoke: fewer
+// events, tiny graph scale), --scale N (graph scale override).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sys/system.hpp"
+
+#include "perf_support.hpp"
+
+using namespace coolpim;
+
+namespace {
+
+struct QueueResult {
+  std::uint64_t events;
+  double wall_ms;
+  double events_per_sec;
+  double ns_per_event;
+};
+
+/// Self-rescheduling hop: one pointer capture, inline in EventAction.
+struct Chain {
+  sim::Simulation* sim;
+  std::uint64_t remaining;
+  Time period;
+};
+
+struct Hop {
+  Chain* chain;
+  void operator()() const {
+    if (chain->remaining == 0) return;
+    --chain->remaining;
+    chain->sim->schedule_in(chain->period, Hop{chain});
+  }
+};
+
+QueueResult measure_queue(std::uint64_t total_events) {
+  constexpr std::uint64_t kChains = 64;
+  sim::Simulation sim;
+  std::vector<Chain> chains;
+  chains.reserve(kChains);
+  for (std::uint64_t i = 0; i < kChains; ++i) {
+    // Co-prime-ish periods interleave the chains in the heap.
+    chains.push_back(Chain{&sim, total_events / kChains, Time::ns(100.0 + 7.0 * i)});
+  }
+  bench::StopWatch clock;
+  for (auto& c : chains) sim.schedule_in(c.period, Hop{&c});
+  sim.run_to_completion();
+  QueueResult r{};
+  r.events = sim.events_processed();
+  r.wall_ms = clock.elapsed_ms();
+  r.events_per_sec = static_cast<double>(r.events) / (r.wall_ms * 1e-3);
+  r.ns_per_event = r.wall_ms * 1e6 / static_cast<double>(r.events);
+  return r;
+}
+
+QueueResult measure_periodic(std::uint64_t total_events) {
+  constexpr std::uint64_t kTasks = 16;
+  sim::Simulation sim;
+  bench::StopWatch clock;
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    auto remaining = total_events / kTasks;
+    sim.schedule_periodic(Time::ns(100.0 + 7.0 * i),
+                          [remaining]() mutable { return --remaining > 0; });
+  }
+  sim.run_to_completion();
+  QueueResult r{};
+  r.events = sim.events_processed();
+  r.wall_ms = clock.elapsed_ms();
+  r.events_per_sec = static_cast<double>(r.events) / (r.wall_ms * 1e-3);
+  r.ns_per_event = r.wall_ms * 1e6 / static_cast<double>(r.events);
+  return r;
+}
+
+struct EndToEndRun {
+  std::string workload;
+  std::string scenario;
+  double wall_ms;
+  double sim_time_ms;
+  double peak_dram_c;
+};
+
+struct EndToEndResult {
+  unsigned scale;
+  double workload_build_ms;
+  std::vector<EndToEndRun> runs;
+  double total_wall_ms{0.0};
+};
+
+EndToEndResult measure_end_to_end(unsigned scale, std::size_t n_workloads) {
+  EndToEndResult r{};
+  r.scale = scale;
+
+  bench::StopWatch build_clock;
+  const sys::WorkloadSet set{scale, 1};
+  r.workload_build_ms = build_clock.elapsed_ms();
+
+  const auto& names = sys::workload_names();
+  const sys::Scenario scenarios[] = {sys::Scenario::kNonOffloading,
+                                     sys::Scenario::kNaiveOffloading,
+                                     sys::Scenario::kCoolPimHw};
+  for (std::size_t w = 0; w < names.size() && w < n_workloads; ++w) {
+    for (const auto scenario : scenarios) {
+      sys::SystemConfig cfg;
+      cfg.scenario = scenario;
+      bench::StopWatch clock;
+      sys::System system{cfg};
+      const auto result = system.run(set.profile(names[w]));
+      EndToEndRun run;
+      run.workload = names[w];
+      run.scenario = std::string{sys::to_string(scenario)};
+      run.wall_ms = clock.elapsed_ms();
+      run.sim_time_ms = result.exec_time.as_ms();
+      run.peak_dram_c = result.peak_dram_temp.value();
+      r.total_wall_ms += run.wall_ms;
+      r.runs.push_back(std::move(run));
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = bench::arg_value(argc, argv, "--out", "BENCH_sim.json");
+  const bool quick = bench::arg_flag(argc, argv, "--quick");
+  const unsigned scale = static_cast<unsigned>(
+      std::stoi(bench::arg_value(argc, argv, "--scale", quick ? "10" : "16")));
+  const std::uint64_t queue_events = quick ? 100'000 : 2'000'000;
+  const std::size_t n_workloads = quick ? 1 : 2;
+
+  const QueueResult q = measure_queue(queue_events);
+  const QueueResult p = measure_periodic(queue_events / 4);
+  const EndToEndResult e = measure_end_to_end(scale, n_workloads);
+
+  bench::JsonWriter json;
+  json.kv("schema", "coolpim-bench-sim/1");
+  json.kv("quick", quick);
+  json.begin_object("queue");
+  json.kv("events", q.events);
+  json.kv("wall_ms", q.wall_ms);
+  json.kv("events_per_sec", q.events_per_sec);
+  json.kv("ns_per_event", q.ns_per_event);
+  json.end();
+  json.begin_object("periodic");
+  json.kv("events", p.events);
+  json.kv("wall_ms", p.wall_ms);
+  json.kv("events_per_sec", p.events_per_sec);
+  json.kv("ns_per_event", p.ns_per_event);
+  json.end();
+  json.begin_object("end_to_end");
+  json.kv("scale", static_cast<std::uint64_t>(e.scale));
+  json.kv("workload_build_ms", e.workload_build_ms);
+  json.kv("total_wall_ms", e.total_wall_ms);
+  json.begin_array("runs");
+  for (const auto& run : e.runs) {
+    json.begin_object();
+    json.kv("workload", run.workload);
+    json.kv("scenario", run.scenario);
+    json.kv("wall_ms", run.wall_ms);
+    json.kv("sim_time_ms", run.sim_time_ms);
+    json.kv("peak_dram_c", run.peak_dram_c);
+    json.end();
+  }
+  json.end();
+  json.end();
+  const std::string doc = json.str();
+
+  if (!bench::write_text_file(out, doc)) {
+    std::cerr << "perf_sim: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << doc;
+  std::cout << "Queue:     " << q.events_per_sec / 1e6 << " M events/s (" << q.ns_per_event
+            << " ns/event)\n"
+            << "Periodic:  " << p.events_per_sec / 1e6 << " M events/s\n"
+            << "End-to-end (scale " << e.scale << "): " << e.total_wall_ms << " ms over "
+            << e.runs.size() << " runs\n"
+            << "Results written to " << out << "\n";
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Perf harness for the thermal hot path (docs/PERFORMANCE.md).
+//
+// Two measurements, emitted as BENCH_thermal.json:
+//
+//  - transient: ns per cell-substep of the branch-free flat-stencil sweep
+//    (StackModel::step) against the retained guarded reference sweep
+//    (step_reference), on the HMC 2.0 commodity-sink stack at full read
+//    bandwidth -- the Fig. 3 / Fig. 13 operating point.  Both kernels are
+//    bit-identical by contract; the harness cross-checks the final fields.
+//
+//  - steady: solver iterations and wall time for the Fig. 3/4 bandwidth
+//    sweep (Table 2's four cooling solutions x bandwidth 0..320 GB/s),
+//    re-solved cold (from ambient, SteadyStart::kCold) versus warm-started
+//    (SteadyStart::kWarmScaled, extrapolating from the solve history).
+//
+// Flags: --out FILE (default BENCH_thermal.json), --quick (CI smoke: short
+// timed windows, same schema).  No thresholds are enforced here; the JSON is
+// schema-checked by tools/check_bench.py and ratios are judged by humans.
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "hmc/config.hpp"
+#include "power/cooling.hpp"
+#include "power/energy_model.hpp"
+#include "thermal/hmc_thermal.hpp"
+#include "thermal/stack_model.hpp"
+
+#include "perf_support.hpp"
+#include "thermal_points.hpp"
+
+using namespace coolpim;
+
+namespace {
+
+/// The operating point both measurements run at: full regular-read bandwidth
+/// into an HMC 2.0 cube under the commodity-server sink.
+thermal::HmcThermalModel make_model(power::CoolingType cooling, double bw_gbps) {
+  const hmc::LinkModel link{hmc::hmc20_config()};
+  thermal::HmcThermalModel model{thermal::hmc20_thermal_config(cooling)};
+  model.apply_power(
+      power::compute_power(power::EnergyParams{}, bench::read_traffic(link, bw_gbps)));
+  return model;
+}
+
+struct TransientResult {
+  double fast_ns_per_cell_substep;
+  double reference_ns_per_cell_substep;
+  double speedup;
+  std::uint64_t nodes;
+  std::uint64_t substeps_per_step;
+  std::uint64_t fast_steps;
+  std::uint64_t reference_steps;
+  bool bit_identical;
+};
+
+/// Time `step` calls over `windows` wall-clock windows of `window_sec` each
+/// and return the best (minimum) ns per cell-substep -- the minimum filters
+/// scheduler noise out of the per-kernel number.  *steps_out accumulates the
+/// total steps taken so the caller can re-synchronize two models.
+template <typename StepFn>
+double time_steps(StepFn step, int windows, double window_sec, std::uint64_t cells_per_step,
+                  std::uint64_t* steps_out) {
+  // One untimed call warms caches and (for the reference kernel) the heap.
+  step();
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t total_steps = 0;
+  for (int w = 0; w < windows; ++w) {
+    std::uint64_t steps = 0;
+    bench::StopWatch clock;
+    do {
+      for (int i = 0; i < 8; ++i) step();
+      steps += 8;
+    } while (clock.elapsed_sec() < window_sec);
+    best = std::min(best,
+                    clock.elapsed_ns() / (static_cast<double>(steps) * static_cast<double>(cells_per_step)));
+    total_steps += steps;
+  }
+  *steps_out = total_steps;
+  return best;
+}
+
+TransientResult measure_transient(bool quick) {
+  const int windows = quick ? 3 : 7;
+  const double window_sec = quick ? 0.02 : 0.12;
+  // The system driver advances the thermal model in 10 us epochs; measure
+  // the same call it makes.
+  const Time dt = Time::us(10.0);
+
+  auto fast = make_model(power::CoolingType::kCommodityServer, 320.0);
+  auto ref = make_model(power::CoolingType::kCommodityServer, 320.0);
+  fast.solve_steady();
+  ref.solve_steady();
+
+  TransientResult r{};
+  r.nodes = fast.stack().node_count();
+  r.substeps_per_step = fast.stack().substeps_for(dt);
+  const std::uint64_t cells = r.nodes * r.substeps_per_step;
+
+  // Interleave the two kernels' timing windows so machine noise (frequency
+  // scaling, co-tenants) hits both measurements alike; each side keeps its
+  // best window.
+  thermal::StackModel& fast_stack = fast.stack();
+  thermal::StackModel& ref_stack = ref.stack();
+  r.fast_ns_per_cell_substep = std::numeric_limits<double>::infinity();
+  r.reference_ns_per_cell_substep = std::numeric_limits<double>::infinity();
+  for (int w = 0; w < windows; ++w) {
+    std::uint64_t steps = 0;
+    r.fast_ns_per_cell_substep =
+        std::min(r.fast_ns_per_cell_substep,
+                 time_steps([&] { fast_stack.step(dt); }, 1, window_sec, cells, &steps));
+    r.fast_steps += steps;
+    r.reference_ns_per_cell_substep = std::min(
+        r.reference_ns_per_cell_substep,
+        time_steps([&] { ref_stack.step_reference(dt); }, 1, window_sec, cells, &steps));
+    r.reference_steps += steps;
+  }
+  r.speedup = r.reference_ns_per_cell_substep / r.fast_ns_per_cell_substep;
+
+  // Bit-identity cross-check: advance both models to the same step count and
+  // require exactly equal peak temperatures.
+  for (std::uint64_t s = r.fast_steps; s < r.reference_steps; ++s) fast_stack.step(dt);
+  for (std::uint64_t s = r.reference_steps; s < r.fast_steps; ++s) ref_stack.step_reference(dt);
+  r.bit_identical = fast.peak_dram().value() == ref.peak_dram().value() &&
+                    fast.peak_logic().value() == ref.peak_logic().value();
+  return r;
+}
+
+struct SteadyResult {
+  std::uint64_t points;
+  std::uint64_t cold_iterations;
+  std::uint64_t warm_iterations;
+  double iteration_reduction;
+  double cold_ms;
+  double warm_ms;
+};
+
+/// One full Fig. 3/4-style sweep: Table 2's four cooling solutions, each
+/// swept over bandwidth 0..320 GB/s in 40 GB/s steps with a persistent model
+/// per cooling type.  Returns total solver iterations; adds wall ms to *ms.
+std::uint64_t steady_sweep(thermal::SteadyStart start, std::uint64_t* points, double* ms) {
+  const hmc::LinkModel link{hmc::hmc20_config()};
+  const power::EnergyParams ep;
+  std::uint64_t iters = 0;
+  std::uint64_t n = 0;
+  bench::StopWatch clock;
+  for (const auto cooling :
+       {power::CoolingType::kPassive, power::CoolingType::kLowEndActive,
+        power::CoolingType::kCommodityServer, power::CoolingType::kHighEndActive}) {
+    thermal::HmcThermalModel model{thermal::hmc20_thermal_config(cooling)};
+    for (double bw = 0.0; bw <= 320.0 + 1e-9; bw += 40.0) {
+      model.apply_power(power::compute_power(ep, bench::read_traffic(link, bw)));
+      iters += model.solve_steady(start);
+      ++n;
+    }
+  }
+  *ms += clock.elapsed_ms();
+  *points = n;
+  return iters;
+}
+
+SteadyResult measure_steady(bool quick) {
+  const int reps = quick ? 1 : 3;
+  SteadyResult r{};
+  double cold_ms = 0.0, warm_ms = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    r.cold_iterations = steady_sweep(thermal::SteadyStart::kCold, &r.points, &cold_ms);
+    r.warm_iterations = steady_sweep(thermal::SteadyStart::kWarmScaled, &r.points, &warm_ms);
+  }
+  r.cold_ms = cold_ms / reps;
+  r.warm_ms = warm_ms / reps;
+  r.iteration_reduction =
+      static_cast<double>(r.cold_iterations) / static_cast<double>(r.warm_iterations);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = bench::arg_value(argc, argv, "--out", "BENCH_thermal.json");
+  const bool quick = bench::arg_flag(argc, argv, "--quick");
+
+  const TransientResult t = measure_transient(quick);
+  const SteadyResult s = measure_steady(quick);
+
+  bench::JsonWriter json;
+  json.kv("schema", "coolpim-bench-thermal/1");
+  json.kv("quick", quick);
+  json.begin_object("transient");
+  json.kv("nodes", t.nodes);
+  json.kv("substeps_per_step", t.substeps_per_step);
+  json.kv("fast_steps_timed", t.fast_steps);
+  json.kv("reference_steps_timed", t.reference_steps);
+  json.kv("fast_ns_per_cell_substep", t.fast_ns_per_cell_substep);
+  json.kv("reference_ns_per_cell_substep", t.reference_ns_per_cell_substep);
+  json.kv("speedup", t.speedup);
+  json.kv("bit_identical", t.bit_identical);
+  json.end();
+  json.begin_object("steady");
+  json.kv("points_per_sweep", s.points);
+  json.kv("cold_iterations", s.cold_iterations);
+  json.kv("warm_iterations", s.warm_iterations);
+  json.kv("iteration_reduction", s.iteration_reduction);
+  json.kv("cold_ms", s.cold_ms);
+  json.kv("warm_ms", s.warm_ms);
+  json.end();
+  const std::string doc = json.str();
+
+  if (!bench::write_text_file(out, doc)) {
+    std::cerr << "perf_thermal: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << doc;
+  std::cout << "Transient sweep: " << t.fast_ns_per_cell_substep << " ns/cell-substep fast vs "
+            << t.reference_ns_per_cell_substep << " reference (" << t.speedup
+            << "x, bit-identical=" << (t.bit_identical ? "yes" : "NO") << ")\n"
+            << "Steady sweep:    " << s.warm_iterations << " iters warm-started vs "
+            << s.cold_iterations << " cold (" << s.iteration_reduction << "x fewer)\n"
+            << "Results written to " << out << "\n";
+  return t.bit_identical ? 0 : 2;
+}

@@ -1,13 +1,26 @@
 // Discrete-event queue.
 //
-// A binary-heap priority queue of (time, sequence, action).  The sequence
-// number makes ordering of same-time events deterministic (FIFO within a
-// timestamp), which keeps whole-simulation results bit-reproducible.
+// A flat 4-ary min-heap of (time, sequence, action).  The sequence number
+// makes ordering of same-time events deterministic (FIFO within a
+// timestamp), which keeps whole-simulation results bit-reproducible: the
+// (time, seq) pair is a strict total order, so the pop sequence is unique
+// regardless of heap layout.
+//
+// EventAction is a small-buffer-optimized move-only callable: captureless
+// and small-capture actions (up to kInlineCapacity bytes) live inline in the
+// queue's entry array with no heap allocation per event -- the std::function
+// this replaces allocated for anything beyond ~2 captured words.  A 4-ary
+// heap halves the tree depth of a binary heap and keeps the child scan
+// inside one cache line of entries, and the hole-based sift routines move
+// each entry at most once per level (the old std::priority_queue needed a
+// const_cast to move the action out of top()).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -16,7 +29,109 @@
 
 namespace coolpim::sim {
 
-using EventAction = std::function<void()>;
+/// Move-only type-erased void() callable with inline storage.  Callables up
+/// to kInlineCapacity bytes that are nothrow-move-constructible are stored
+/// in place; anything larger (or potentially-throwing on move) falls back to
+/// a single heap allocation.  Unlike std::function this accepts move-only
+/// callables (e.g. lambdas capturing a unique_ptr).
+class EventAction {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventAction() = default;
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventAction> &&
+                                 std::is_invocable_r_v<void, std::decay_t<F>&>,
+                             int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  EventAction(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  EventAction(EventAction&& other) noexcept { move_from(other); }
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+  ~EventAction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    COOLPIM_ASSERT(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (exposed so
+  /// tests can pin the no-allocation guarantee for small captures).
+  [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct dst from src and destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& slot(void* p) { return *static_cast<Fn**>(p); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void relocate(void* dst, void* src) noexcept { ::new (dst) Fn*(slot(src)); }
+    static void destroy(void* p) noexcept { delete slot(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, false};
+  };
+
+  void move_from(EventAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  const Ops* ops_{nullptr};
+};
 
 class EventQueue {
  public:
@@ -24,49 +139,85 @@ class EventQueue {
   /// relative to the last popped event.
   void schedule(Time t, EventAction action) {
     COOLPIM_ASSERT_MSG(t >= last_popped_, "event scheduled in the past");
-    heap_.push(Entry{t, next_seq_++, std::move(action)});
+    heap_.push_back(Entry{t, next_seq_++, std::move(action)});
+    sift_up(heap_.size() - 1);
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] Time next_time() const {
     COOLPIM_ASSERT(!heap_.empty());
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   /// Pop and return the earliest event.
   [[nodiscard]] std::pair<Time, EventAction> pop() {
     COOLPIM_ASSERT(!heap_.empty());
-    // std::priority_queue::top() returns const&; we need to move the action
-    // out, which is safe because we pop immediately after.
-    Entry& top = const_cast<Entry&>(heap_.top());
-    Time t = top.time;
-    EventAction action = std::move(top.action);
-    heap_.pop();
+    const Time t = heap_.front().time;
+    EventAction action = std::move(heap_.front().action);
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down_from_root(std::move(last));
     last_popped_ = t;
     return {t, std::move(action)};
   }
 
+  /// Pre-size the entry array so a steady-state schedule/pop workload runs
+  /// with zero heap allocations.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   void clear() {
-    heap_ = {};
+    heap_.clear();
     last_popped_ = Time::zero();
     next_seq_ = 0;
   }
 
  private:
+  static constexpr std::size_t kArity = 4;
+
   struct Entry {
     Time time;
     std::uint64_t seq;
     EventAction action;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(e);
+  }
+
+  /// Place `e` into the hole at the root, walking it down past any earlier
+  /// children.
+  void sift_down_from_root(Entry e) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = kArity * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], e)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(e);
+  }
+
+  std::vector<Entry> heap_;
   Time last_popped_{Time::zero()};
   std::uint64_t next_seq_{0};
 };

@@ -7,13 +7,23 @@ namespace coolpim::sim {
 
 void Simulation::schedule_periodic(Time period, std::function<bool()> tick) {
   COOLPIM_REQUIRE(period > Time::zero(), "periodic tick needs a positive period");
-  // Self-rescheduling closure; shared_ptr lets the lambda re-arm itself.
-  auto fn = std::make_shared<std::function<void()>>();
-  auto tick_fn = std::make_shared<std::function<bool()>>(std::move(tick));
-  *fn = [this, period, fn, tick_fn]() {
-    if ((*tick_fn)()) schedule_in(period, *fn);
+  // Self-rescheduling closure.  The tick callable is heap-allocated once at
+  // registration; each re-arm copies only {Simulation*, shared_ptr}, which
+  // fits EventAction's inline buffer, so the per-tick event path stays
+  // allocation-free.
+  struct State {
+    Time period;
+    std::function<bool()> tick;
   };
-  schedule_in(period, *fn);
+  struct Rearm {
+    Simulation* sim;
+    std::shared_ptr<State> state;
+    void operator()() const {
+      if (state->tick()) sim->schedule_in(state->period, Rearm{sim, state});
+    }
+  };
+  auto state = std::make_shared<State>(State{period, std::move(tick)});
+  schedule_in(period, Rearm{this, std::move(state)});
 }
 
 Time Simulation::run_until(Time deadline) {

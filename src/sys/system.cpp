@@ -321,7 +321,6 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
     Celsius prev_peak = therm.peak_dram();
     std::uint64_t prev_adjustments = controller->adjustments();
     hmc::EpochDemand ema{};
-    bool have_ema = false;
     for (unsigned rep = 0; rep < cfg_.max_warmup_reps; ++rep) {
       const auto pass = run_pass(cfg_.warmup_epoch, /*measure=*/false);
       // Fast-forward to the sustained equilibrium: the heat sink's own time
@@ -331,7 +330,6 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
       // repetitions (EMA) to damp the bistable hot/cool ping-pong a single
       // pass average can induce near the derating boundary.
       ema = pass.demand_per_sec;
-      have_ema = true;
       // Sustained-equilibrium jump: at each candidate derate level, serve
       // the pass's offered demand at that level and solve for the
       // steady state of the *served* traffic under that level's hot-energy

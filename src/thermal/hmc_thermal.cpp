@@ -79,14 +79,24 @@ void HmcThermalModel::apply_power(const power::PowerBreakdown& power) {
   for (std::size_t l = 1; l <= cfg_.dram_dies; ++l) stack_.set_layer_power(l, dram);
 }
 
-void HmcThermalModel::solve_steady() { stack_.solve_steady(); }
+std::size_t HmcThermalModel::solve_steady(SteadyStart start) {
+  const std::size_t iters = stack_.solve_steady(1e-4, 200000, start);
+  if (counters_ != nullptr) {
+    counters_->counter("thermal/steady_solves").add();
+    counters_->counter("thermal/steady_iterations").add(iters);
+  }
+  return iters;
+}
 
 void HmcThermalModel::step(Time dt) {
   stack_.step(dt);
   const Time began = clock_;
   clock_ = clock_ + dt;
 
+  // One reduction pass per step: peak_dram/peak_logic are read here once and
+  // the same values feed both the counter gauges and the trace sink.
   const double dram_c = peak_dram().value();
+  const double logic_c = peak_logic().value();
   const bool above = dram_c >= warn_limit_.value();
   const bool crossed = above != above_limit_;
   above_limit_ = above;
@@ -95,12 +105,12 @@ void HmcThermalModel::step(Time dt) {
     counters_->counter("thermal/steps").add();
     if (crossed) counters_->counter("thermal/warning_crossings").add();
     counters_->gauge("thermal/peak_dram_c").set(dram_c);
-    counters_->gauge("thermal/peak_logic_c").set(peak_logic().value());
+    counters_->gauge("thermal/peak_logic_c").set(logic_c);
   }
   if (trace_.enabled()) {
     trace_.complete(began, dt, "thermal", "step", {{"peak_dram_c", dram_c}});
     trace_.counter(clock_, "thermal", "peak_dram_c", dram_c);
-    trace_.counter(clock_, "thermal", "peak_logic_c", peak_logic().value());
+    trace_.counter(clock_, "thermal", "peak_logic_c", logic_c);
     if (crossed) {
       obs::TraceArgs args;
       args.emplace_back("direction", above ? "rising" : "falling");

@@ -64,8 +64,12 @@ class HmcThermalModel {
   /// Distribute a power breakdown onto the stack's layers.
   void apply_power(const power::PowerBreakdown& power);
 
-  /// Steady-state solve with the currently applied power.
-  void solve_steady();
+  /// Steady-state solve with the currently applied power.  Returns the
+  /// solver iteration count.  The temperature field persists between calls,
+  /// so with the default kWarm start a parameter sweep re-converges from the
+  /// previous point's solution instead of from ambient (docs/PERFORMANCE.md);
+  /// pass SteadyStart::kCold to reproduce a from-scratch solve.
+  std::size_t solve_steady(SteadyStart start = SteadyStart::kWarm);
 
   /// Advance the transient solution.
   void step(Time dt);
@@ -82,6 +86,9 @@ class HmcThermalModel {
   [[nodiscard]] static Celsius estimate_die_from_surface(Celsius surface, Watts power);
 
   [[nodiscard]] const StackModel& stack() const { return stack_; }
+  /// Mutable stack access for benches/tests that drive the solver kernels
+  /// directly (e.g. bench/perf_thermal.cpp timing step_reference()).
+  [[nodiscard]] StackModel& stack() { return stack_; }
   [[nodiscard]] const HmcThermalConfig& config() const { return cfg_; }
   /// Logic-layer temperature field (for heat maps, paper Fig. 3).
   [[nodiscard]] std::vector<double> logic_heatmap() const { return stack_.layer_field(0); }

@@ -25,9 +25,14 @@ StackModel::StackModel(StackSpec spec) : spec_{std::move(spec)} {
   spec_.validate();
   n_cells_ = spec_.floorplan.grid.cells();
   n_nodes_ = n_cells_ * spec_.layers.size();
-  temp_k_.assign(n_nodes_, spec_.ambient.as_kelvin());
+  // Ghost-padded field: one layer-sized block of ambient cells before and
+  // after the live nodes, so neighbour reads at +/-1, +/-nx and +/-n_cells
+  // stay in-bounds at every boundary.
+  temp_.assign(n_nodes_ + 2 * n_cells_, spec_.ambient.as_kelvin());
+  scratch_.assign(n_nodes_ + 2 * n_cells_, spec_.ambient.as_kelvin());
   sink_temp_k_ = spec_.ambient.as_kelvin();
   power_w_.assign(n_nodes_, 0.0);
+  stats_.resize(spec_.layers.size());
   build_network();
 }
 
@@ -41,8 +46,11 @@ void StackModel::build_network() {
   const std::size_t n_layers = spec_.layers.size();
 
   g_east_.assign(n_nodes_, 0.0);
+  g_west_.assign(n_nodes_, 0.0);
   g_north_.assign(n_nodes_, 0.0);
+  g_south_.assign(n_nodes_, 0.0);
   g_up_.assign(n_nodes_, 0.0);
+  g_down_.assign(n_nodes_, 0.0);
   g_sink_.assign(n_nodes_, 0.0);
   g_board_.assign(n_nodes_, 0.0);
   g_diag_.assign(n_nodes_, 0.0);
@@ -79,20 +87,38 @@ void StackModel::build_network() {
     }
   }
 
-  // Accumulate per-node incident conductance for diag / stability.
+  // Mirrored neighbour views: a node's west/south/down conductance is the
+  // owning (west/south/lower) neighbour's east/north/up entry, zero at the
+  // boundary.  These make the sweeps branch-free.
   for (std::size_t l = 0; l < n_layers; ++l) {
     for (std::size_t y = 0; y < ny; ++y) {
       for (std::size_t x = 0; x < nx; ++x) {
         const std::size_t nidx = node(l, fp.grid.index(x, y));
-        double g = g_up_[nidx] + g_sink_[nidx] + g_board_[nidx];
-        if (x + 1 < nx) g += g_east_[nidx];
-        if (x > 0) g += g_east_[nidx - 1];
-        if (y + 1 < ny) g += g_north_[nidx];
-        if (y > 0) g += g_north_[nidx - nx];
-        if (l > 0) g += g_up_[node(l - 1, fp.grid.index(x, y))];
-        g_diag_[nidx] = g;
+        if (x > 0) g_west_[nidx] = g_east_[nidx - 1];
+        if (y > 0) g_south_[nidx] = g_north_[nidx - nx];
+        if (l > 0) g_down_[nidx] = g_up_[nidx - n_cells_];
       }
     }
+  }
+
+  // Offset-padded copies for the transient sweep: with nc leading zeros, a
+  // node's west/south/down conductance is the same array read at i-1 / i-nx /
+  // i-nc (row-end east, column-end north and top-layer up entries are zero,
+  // so the wrapped reads land on exact zeros -- the mirror arrays above hold
+  // the same values).  Reading one array at two offsets instead of two
+  // arrays halves the conductance cache traffic of the hot loop.
+  const auto pad = [this](const std::vector<double>& src, std::vector<double>& dst) {
+    dst.assign(n_cells_ + n_nodes_, 0.0);
+    std::copy(src.begin(), src.end(), dst.begin() + static_cast<std::ptrdiff_t>(n_cells_));
+  };
+  pad(g_east_, g_east_pad_);
+  pad(g_north_, g_north_pad_);
+  pad(g_up_, g_up_pad_);
+
+  // Accumulate per-node incident conductance for diag / stability.
+  for (std::size_t i = 0; i < n_nodes_; ++i) {
+    g_diag_[i] = g_up_[i] + g_sink_[i] + g_board_[i] + g_east_[i] + g_west_[i] + g_north_[i] +
+                 g_south_[i] + g_down_[i];
   }
 
   g_sink_ambient_ = 1.0 / spec_.sink_r.value();
@@ -118,13 +144,43 @@ void StackModel::set_layer_power(std::size_t layer, const PowerMap& power) {
 
 void StackModel::clear_power() { std::fill(power_w_.begin(), power_w_.end(), 0.0); }
 
-std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters) {
-  const auto& fp = spec_.floorplan;
-  const std::size_t nx = fp.grid.nx;
-  const std::size_t ny = fp.grid.ny;
+std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters,
+                                     SteadyStart start) {
+  double total_watts = spec_.co_heater_watts;
+  for (const double p : power_w_) total_watts += p;
+
+  if (start == SteadyStart::kCold) {
+    reset_to_ambient();
+  } else if (start == SteadyStart::kWarmScaled && hist1_.watts > 0.0) {
+    // Shape the initial guess from previous solves (the network is linear in
+    // power, so solutions extrapolate well along a sweep).  With two history
+    // points, per-node secant extrapolation in total power tracks even the
+    // changing spatial shape of the power map; with one, scale the rise over
+    // ambient by the total-power ratio.  Either way this only sets the
+    // initial guess -- the solve below converges to the same fixed point.
+    const double amb = spec_.ambient.as_kelvin();
+    double* T = field();
+    const double dp = hist1_.watts - hist2_.watts;
+    if (hist2_.watts > 0.0 && std::abs(dp) > 1e-9 * hist1_.watts) {
+      const double a = (total_watts - hist1_.watts) / dp;
+      for (std::size_t i = 0; i < n_nodes_; ++i) {
+        T[i] = hist1_.field[i] + a * (hist1_.field[i] - hist2_.field[i]);
+      }
+      sink_temp_k_ = hist1_.sink_k + a * (hist1_.sink_k - hist2_.sink_k);
+    } else if (total_watts > 0.0) {
+      const double k = total_watts / hist1_.watts;
+      for (std::size_t i = 0; i < n_nodes_; ++i) T[i] = amb + (T[i] - amb) * k;
+      sink_temp_k_ = amb + (sink_temp_k_ - amb) * k;
+    }
+  }
+
+  const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(spec_.floorplan.grid.nx);
+  const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(n_cells_);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(n_nodes_);
   const std::size_t n_layers = spec_.layers.size();
   const double ambient_k = spec_.ambient.as_kelvin();
   const double omega = 1.85;  // SOR over-relaxation
+  double* T = field();
 
   std::size_t iter = 0;
   for (; iter < max_iters; ++iter) {
@@ -133,55 +189,213 @@ std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters) 
     // Sink node first (Gauss-Seidel: uses the freshest neighbour values).
     {
       double num = g_sink_ambient_ * ambient_k + spec_.co_heater_watts;
-      for (std::size_t c = 0; c < n_cells_; ++c) {
-        const std::size_t nidx = node(n_layers - 1, c);
-        num += g_sink_[nidx] * temp_k_[nidx];
+      const double* top = T + static_cast<std::ptrdiff_t>((n_layers - 1) * n_cells_);
+      const double* gs = g_sink_.data() + static_cast<std::ptrdiff_t>((n_layers - 1) * n_cells_);
+      for (std::ptrdiff_t c = 0; c < nc; ++c) {
+        num += gs[c] * top[c];
       }
       const double t_new = num / sink_g_total_;
       max_delta = std::max(max_delta, std::abs(t_new - sink_temp_k_));
       sink_temp_k_ = t_new;
     }
 
-    for (std::size_t l = 0; l < n_layers; ++l) {
-      for (std::size_t y = 0; y < ny; ++y) {
-        for (std::size_t x = 0; x < nx; ++x) {
-          const std::size_t nidx = node(l, fp.grid.index(x, y));
-          double num = power_w_[nidx];
-          if (x + 1 < nx) num += g_east_[nidx] * temp_k_[nidx + 1];
-          if (x > 0) num += g_east_[nidx - 1] * temp_k_[nidx - 1];
-          if (y + 1 < ny) num += g_north_[nidx] * temp_k_[nidx + nx];
-          if (y > 0) num += g_north_[nidx - nx] * temp_k_[nidx - nx];
-          if (l + 1 < n_layers) num += g_up_[nidx] * temp_k_[nidx + n_cells_];
-          if (l > 0) num += g_up_[nidx - n_cells_] * temp_k_[nidx - n_cells_];
-          num += g_sink_[nidx] * sink_temp_k_;
-          num += g_board_[nidx] * ambient_k;
+    // Branch-free SOR sweep: boundary directions carry a zero conductance,
+    // so their ghost reads contribute an exact +0.0 (same bits as the old
+    // guarded loop that skipped them).
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      const double* Ti = T + i;
+      double num = power_w_[static_cast<std::size_t>(i)];
+      num += g_east_[static_cast<std::size_t>(i)] * Ti[1];
+      num += g_west_[static_cast<std::size_t>(i)] * Ti[-1];
+      num += g_north_[static_cast<std::size_t>(i)] * Ti[nx];
+      num += g_south_[static_cast<std::size_t>(i)] * Ti[-nx];
+      num += g_up_[static_cast<std::size_t>(i)] * Ti[nc];
+      num += g_down_[static_cast<std::size_t>(i)] * Ti[-nc];
+      num += g_sink_[static_cast<std::size_t>(i)] * sink_temp_k_;
+      num += g_board_[static_cast<std::size_t>(i)] * ambient_k;
 
-          const double t_gs = num / g_diag_[nidx];
-          const double t_new = temp_k_[nidx] + omega * (t_gs - temp_k_[nidx]);
-          max_delta = std::max(max_delta, std::abs(t_new - temp_k_[nidx]));
-          temp_k_[nidx] = t_new;
-        }
-      }
+      const double t_old = *Ti;
+      const double t_gs = num / g_diag_[static_cast<std::size_t>(i)];
+      const double t_new = t_old + omega * (t_gs - t_old);
+      max_delta = std::max(max_delta, std::abs(t_new - t_old));
+      T[i] = t_new;
     }
 
     if (max_delta < tolerance_k) break;
   }
   COOLPIM_ASSERT_MSG(iter < max_iters, "steady-state solve did not converge");
+  mark_temps_changed();
+  // Record this solution for future kWarmScaled guesses.  The swap recycles
+  // the older slot's buffer, so after two solves this is allocation-free.
+  std::swap(hist1_, hist2_);
+  hist1_.field.assign(T, T + n);
+  hist1_.sink_k = sink_temp_k_;
+  hist1_.watts = total_watts;
   return iter + 1;
 }
 
-void StackModel::step(Time dt) {
+std::size_t StackModel::substeps_for(Time dt) const {
   COOLPIM_REQUIRE(dt > Time::zero(), "transient step must be positive");
+  return static_cast<std::size_t>(std::ceil(dt.as_sec() / stable_dt_.as_sec()));
+}
+
+namespace {
+
+// Runtime-dispatched AVX2 clones of the stencil kernels where the toolchain
+// supports ifunc multiversioning (x86-64 ELF).  AVX2 widens the vectors to
+// four lanes; it does not enable FMA, so every lane performs the same IEEE
+// mul/add/div sequence and results stay bit-identical to the default clone.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define COOLPIM_STENCIL_CLONES __attribute__((target_clones("default", "avx2")))
+#endif
+#endif
+#ifndef COOLPIM_STENCIL_CLONES
+#define COOLPIM_STENCIL_CLONES
+#endif
+
+/// One explicit-Euler substep over one layer below the top one: a pure
+/// elementwise map with no reduction, written as a free function with
+/// __restrict parameters so GCC's dependence analysis vectorizes it (the
+/// qualifier is only reliably honoured on function parameters).  The sink
+/// term is omitted entirely: g_sink is zero below the top layer, and
+/// skipping a `flow += 0 * (...)` is bit-exact because `flow` is never -0.0
+/// at that point (power is non-negative and a round-to-nearest sum of
+/// cancelling non-zeros yields +0.0), so adding the zero product could not
+/// have changed it.
+///
+/// Vertical, board, capacitance and north/south conductances are uniform
+/// over a whole row band by construction (uniform cell geometry, per-layer
+/// material; the north/south links only vanish on the first/last row), so
+/// they arrive as broadcast scalars -- the exact values the table-driven
+/// reference loads per cell.  Only the east table remains an array: its
+/// row-edge zeros sit mid-span, and reading it at i and i-1 covers the
+/// west link too.  One layer is three contiguous spans: first row, interior
+/// rows, last row.
+COOLPIM_STENCIL_CLONES
+void substep_span(const double* __restrict T, double* __restrict N,
+                  const double* __restrict pw, const double* __restrict ge,
+                  std::ptrdiff_t begin, std::ptrdiff_t end, std::ptrdiff_t nx,
+                  std::ptrdiff_t nc, double g_n, double g_s, double g_up, double g_down,
+                  double g_board, double cap, double h, double ambient_k) {
+  for (std::ptrdiff_t i = begin; i < end; ++i) {
+    const double t = T[i];
+    double flow = pw[i];
+    flow += ge[i] * (T[i + 1] - t);
+    flow += ge[i - 1] * (T[i - 1] - t);
+    flow += g_n * (T[i + nx] - t);
+    flow += g_s * (T[i - nx] - t);
+    flow += g_up * (T[i + nc] - t);
+    flow += g_down * (T[i - nc] - t);
+    flow += g_board * (ambient_k - t);
+    N[i] = t + h * flow / cap;
+  }
+}
+
+/// Top-layer substep: same stencil plus the TIM coupling into the lumped
+/// sink node.  The scalar sink_flow reduction confines the only
+/// vectorization-hostile statement of the sweep to these n_cells nodes.
+/// Returns the accumulated heat flow into the sink.
+COOLPIM_STENCIL_CLONES
+double substep_top(const double* __restrict T, double* __restrict N,
+                   const double* __restrict pw, const double* __restrict ge,
+                   const double* __restrict gn, const double* __restrict gu,
+                   const double* __restrict gsk, const double* __restrict gb,
+                   const double* __restrict cap, std::ptrdiff_t nx, std::ptrdiff_t nc,
+                   std::ptrdiff_t top, std::ptrdiff_t n, double h, double ambient_k,
+                   double sink_t, double sink_flow) {
+  for (std::ptrdiff_t i = top; i < n; ++i) {
+    const double t = T[i];
+    double flow = pw[i];
+    flow += ge[i] * (T[i + 1] - t);
+    flow += ge[i - 1] * (T[i - 1] - t);
+    flow += gn[i] * (T[i + nx] - t);
+    flow += gn[i - nx] * (T[i - nx] - t);
+    flow += gu[i] * (T[i + nc] - t);
+    flow += gu[i - nc] * (T[i - nc] - t);
+    const double f = gsk[i] * (sink_t - t);
+    flow += f;
+    sink_flow -= f;
+    flow += gb[i] * (ambient_k - t);
+    N[i] = t + h * flow / cap[i];
+  }
+  return sink_flow;
+}
+
+}  // namespace
+
+void StackModel::step(Time dt) {
+  const double total = dt.as_sec();
+  const std::size_t n_sub = substeps_for(dt);
+  const double h = total / static_cast<double>(n_sub);
+  const double ambient_k = spec_.ambient.as_kelvin();
+
+  const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(spec_.floorplan.grid.nx);
+  const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(spec_.floorplan.grid.ny);
+  const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(n_cells_);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(n_nodes_);
+  const double* pw = power_w_.data();
+  const double* ge = g_east_pad_.data() + nc;  // ge[i-1] is the west link
+  const double* gn = g_north_pad_.data() + nc;
+  const double* gu = g_up_pad_.data() + nc;
+  const double* gsk = g_sink_.data();
+  const double* gb = g_board_.data();
+  const double* cap = cap_.data();
+  const std::ptrdiff_t top = n - nc;
+
+  const std::size_t n_layers = spec_.layers.size();
+
+  for (std::size_t s = 0; s < n_sub; ++s) {
+    const double* T = temp_.data() + nc;
+    double* N = scratch_.data() + nc;
+    const double sink_t = sink_temp_k_;
+    double sink_flow = g_sink_ambient_ * (ambient_k - sink_t) + spec_.co_heater_watts;
+    for (std::size_t l = 0; l + 1 < n_layers; ++l) {
+      const std::ptrdiff_t base = static_cast<std::ptrdiff_t>(l) * nc;
+      // Per-layer uniform conductances, read once from the tables (cell 0
+      // has live north/up links whenever the grid extends that way).  The
+      // down-link of layer 0 is the zero pad: its ghost-temperature term
+      // contributes an exact +/-0.0, as in the fused table-driven sweep.
+      const double g_n_l = gn[base];
+      const double g_up_l = gu[base];
+      const double g_down_l = gu[base - nc];
+      const double g_board_l = gb[base];
+      const double cap_l = cap[base];
+      const double* Tl = T + base;
+      double* Nl = N + base;
+      const double* pwl = pw + base;
+      const double* gel = ge + base;
+      if (ny == 1) {
+        substep_span(Tl, Nl, pwl, gel, 0, nc, nx, nc, 0.0, 0.0, g_up_l, g_down_l, g_board_l,
+                     cap_l, h, ambient_k);
+      } else {
+        substep_span(Tl, Nl, pwl, gel, 0, nx, nx, nc, g_n_l, 0.0, g_up_l, g_down_l, g_board_l,
+                     cap_l, h, ambient_k);
+        substep_span(Tl, Nl, pwl, gel, nx, nc - nx, nx, nc, g_n_l, g_n_l, g_up_l, g_down_l,
+                     g_board_l, cap_l, h, ambient_k);
+        substep_span(Tl, Nl, pwl, gel, nc - nx, nc, nx, nc, 0.0, g_n_l, g_up_l, g_down_l,
+                     g_board_l, cap_l, h, ambient_k);
+      }
+    }
+    sink_flow = substep_top(T, N, pw, ge, gn, gu, gsk, gb, cap, nx, nc, top, n, h, ambient_k,
+                            sink_t, sink_flow);
+    sink_temp_k_ += h * sink_flow / spec_.sink_heat_capacity;
+    temp_.swap(scratch_);
+  }
+  mark_temps_changed();
+}
+
+void StackModel::step_reference(Time dt) {
+  const double total = dt.as_sec();
+  const std::size_t n_sub = substeps_for(dt);
+  const double h = total / static_cast<double>(n_sub);
+
   const auto& fp = spec_.floorplan;
   const std::size_t nx = fp.grid.nx;
   const std::size_t ny = fp.grid.ny;
   const std::size_t n_layers = spec_.layers.size();
   const double ambient_k = spec_.ambient.as_kelvin();
-
-  const double total = dt.as_sec();
-  const double h_max = stable_dt_.as_sec();
-  const auto n_sub = static_cast<std::size_t>(std::ceil(total / h_max));
-  const double h = total / static_cast<double>(n_sub);
+  double* T = field();
 
   std::vector<double> next(n_nodes_);
   for (std::size_t s = 0; s < n_sub; ++s) {
@@ -190,14 +404,14 @@ void StackModel::step(Time dt) {
       for (std::size_t y = 0; y < ny; ++y) {
         for (std::size_t x = 0; x < nx; ++x) {
           const std::size_t nidx = node(l, fp.grid.index(x, y));
-          const double t = temp_k_[nidx];
+          const double t = T[nidx];
           double flow = power_w_[nidx];
-          if (x + 1 < nx) flow += g_east_[nidx] * (temp_k_[nidx + 1] - t);
-          if (x > 0) flow += g_east_[nidx - 1] * (temp_k_[nidx - 1] - t);
-          if (y + 1 < ny) flow += g_north_[nidx] * (temp_k_[nidx + nx] - t);
-          if (y > 0) flow += g_north_[nidx - nx] * (temp_k_[nidx - nx] - t);
-          if (l + 1 < n_layers) flow += g_up_[nidx] * (temp_k_[nidx + n_cells_] - t);
-          if (l > 0) flow += g_up_[nidx - n_cells_] * (temp_k_[nidx - n_cells_] - t);
+          if (x + 1 < nx) flow += g_east_[nidx] * (T[nidx + 1] - t);
+          if (x > 0) flow += g_west_[nidx] * (T[nidx - 1] - t);
+          if (y + 1 < ny) flow += g_north_[nidx] * (T[nidx + nx] - t);
+          if (y > 0) flow += g_south_[nidx] * (T[nidx - nx] - t);
+          if (l + 1 < n_layers) flow += g_up_[nidx] * (T[nidx + n_cells_] - t);
+          if (l > 0) flow += g_down_[nidx] * (T[nidx - n_cells_] - t);
           if (g_sink_[nidx] > 0.0) {
             const double f = g_sink_[nidx] * (sink_temp_k_ - t);
             flow += f;
@@ -209,38 +423,57 @@ void StackModel::step(Time dt) {
       }
     }
     sink_temp_k_ += h * sink_flow / spec_.sink_heat_capacity;
-    temp_k_.swap(next);
+    std::copy(next.begin(), next.end(), T);
   }
+  mark_temps_changed();
 }
 
 void StackModel::reset_to_ambient() {
-  std::fill(temp_k_.begin(), temp_k_.end(), spec_.ambient.as_kelvin());
+  std::fill(temp_.begin(), temp_.end(), spec_.ambient.as_kelvin());
   sink_temp_k_ = spec_.ambient.as_kelvin();
+  mark_temps_changed();
+}
+
+const std::vector<StackModel::LayerStat>& StackModel::stats() const {
+  if (stats_dirty_) {
+    const double* T = field();
+    const std::size_t n_layers = spec_.layers.size();
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      const double* base = T + static_cast<std::ptrdiff_t>(l * n_cells_);
+      double peak = base[0];
+      double acc = 0.0;
+      for (std::size_t c = 0; c < n_cells_; ++c) {
+        peak = std::max(peak, base[c]);
+        acc += base[c];
+      }
+      stats_[l] = LayerStat{peak, acc / static_cast<double>(n_cells_)};
+    }
+    stats_dirty_ = false;
+  }
+  return stats_;
 }
 
 Celsius StackModel::cell_temp(std::size_t layer, std::size_t cell) const {
   COOLPIM_ASSERT(layer < spec_.layers.size() && cell < n_cells_);
-  return Celsius::from_kelvin(temp_k_[layer * n_cells_ + cell]);
+  return Celsius::from_kelvin(field()[layer * n_cells_ + cell]);
 }
 
 Celsius StackModel::layer_peak(std::size_t layer) const {
   COOLPIM_ASSERT(layer < spec_.layers.size());
-  const auto begin = temp_k_.begin() + static_cast<std::ptrdiff_t>(layer * n_cells_);
-  return Celsius::from_kelvin(*std::max_element(begin, begin + static_cast<std::ptrdiff_t>(n_cells_)));
+  return Celsius::from_kelvin(stats()[layer].peak_k);
 }
 
 Celsius StackModel::layer_mean(std::size_t layer) const {
   COOLPIM_ASSERT(layer < spec_.layers.size());
-  double acc = 0.0;
-  for (std::size_t c = 0; c < n_cells_; ++c) acc += temp_k_[layer * n_cells_ + c];
-  return Celsius::from_kelvin(acc / static_cast<double>(n_cells_));
+  return Celsius::from_kelvin(stats()[layer].mean_k);
 }
 
 Celsius StackModel::peak_over_layers(std::size_t first, std::size_t last) const {
   COOLPIM_ASSERT(first <= last && last < spec_.layers.size());
+  const auto& st = stats();
   double peak = -1e9;
   for (std::size_t l = first; l <= last; ++l) {
-    peak = std::max(peak, layer_peak(l).value());
+    peak = std::max(peak, Celsius::from_kelvin(st[l].peak_k).value());
   }
   return Celsius{peak};
 }
@@ -258,8 +491,9 @@ Celsius StackModel::surface_temp() const {
 std::vector<double> StackModel::layer_field(std::size_t layer) const {
   COOLPIM_ASSERT(layer < spec_.layers.size());
   std::vector<double> out(n_cells_);
+  const double* T = field();
   for (std::size_t c = 0; c < n_cells_; ++c) {
-    out[c] = Celsius::from_kelvin(temp_k_[layer * n_cells_ + c]).value();
+    out[c] = Celsius::from_kelvin(T[layer * n_cells_ + c]).value();
   }
   return out;
 }

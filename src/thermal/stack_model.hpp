@@ -22,8 +22,20 @@
 //
 // Solvers: steady state via Gauss-Seidel/SOR; transient via explicit Euler
 // with an automatically chosen stable sub-step.
+//
+// Hot-path layout (docs/PERFORMANCE.md): the stencil is precomputed into
+// flat structure-of-arrays neighbour-conductance tables (one entry per node
+// and direction, zero at boundaries), and the temperature field is stored
+// with one layer of ghost cells on either end so every neighbour read is
+// in-bounds.  The transient sweep is branch-free -- boundary terms multiply
+// a ghost temperature by a zero conductance, which contributes an exact
+// (+/-)0.0 and leaves results bit-identical to the guarded reference sweep
+// retained as step_reference().  Per-layer peak/mean reductions are cached
+// and recomputed in a single pass over the field when the temperatures
+// change.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -59,6 +71,21 @@ struct StackSpec {
   void validate() const;
 };
 
+/// Initial field for a steady-state solve.
+///  - kWarm (default) iterates from the current temperature field unchanged;
+///    this is the historical behaviour and is what in-run re-solves (e.g. the
+///    warm-up equilibrium jumps in sys::System) rely on staying bit-stable.
+///  - kWarmScaled additionally extrapolates the retained field before
+///    iterating: the RC network is linear in power, so the temperature rise
+///    over ambient is prescaled by the ratio of the current total dissipated
+///    power to the total at the previous solve.  Across a parameter sweep
+///    this lands the initial guess within the distribution-shape error of
+///    the true solution and cuts the iteration count by several times.
+///  - kCold resets the whole stack to ambient first, reproducing a solve on
+///    a freshly constructed model.
+/// All starts converge to the same solution within the solver tolerance.
+enum class SteadyStart { kWarm, kWarmScaled, kCold };
+
 class StackModel {
  public:
   explicit StackModel(StackSpec spec);
@@ -66,6 +93,7 @@ class StackModel {
   [[nodiscard]] const StackSpec& spec() const { return spec_; }
   [[nodiscard]] std::size_t layer_count() const { return spec_.layers.size(); }
   [[nodiscard]] std::size_t cells_per_layer() const { return spec_.floorplan.grid.cells(); }
+  [[nodiscard]] std::size_t node_count() const { return n_nodes_; }
 
   /// Replace the power map of one layer (watts per cell).
   void set_layer_power(std::size_t layer, const PowerMap& power);
@@ -74,10 +102,20 @@ class StackModel {
 
   /// Solve for the steady-state temperature field with the current power.
   /// Returns the number of solver iterations used.
-  std::size_t solve_steady(double tolerance_k = 1e-4, std::size_t max_iters = 200000);
+  std::size_t solve_steady(double tolerance_k = 1e-4, std::size_t max_iters = 200000,
+                           SteadyStart start = SteadyStart::kWarm);
 
   /// Advance the transient solution by `dt` with the current power.
+  /// Branch-free flat-stencil sweep; no heap allocation after construction.
   void step(Time dt);
+
+  /// Retained naive sweep (boundary branches per cell, fresh scratch vector
+  /// per call).  Produces bit-identical temperatures to step(); kept as the
+  /// equivalence-test oracle and the perf-bench baseline.
+  void step_reference(Time dt);
+
+  /// Sub-steps step()/step_reference() perform for a given dt.
+  [[nodiscard]] std::size_t substeps_for(Time dt) const;
 
   /// Reset all temperatures to ambient.
   void reset_to_ambient();
@@ -100,26 +138,55 @@ class StackModel {
   [[nodiscard]] Time stable_step() const { return stable_dt_; }
 
  private:
+  /// Per-layer reductions, computed lazily in one pass over the field.
+  struct LayerStat {
+    double peak_k;
+    double mean_k;
+  };
+
   void build_network();
   [[nodiscard]] std::size_t node(std::size_t layer, std::size_t cell) const {
     return layer * cells_per_layer() + cell;
   }
+  /// Temperature field (Kelvin), skipping the leading ghost block.
+  [[nodiscard]] double* field() { return temp_.data() + static_cast<std::ptrdiff_t>(n_cells_); }
+  [[nodiscard]] const double* field() const {
+    return temp_.data() + static_cast<std::ptrdiff_t>(n_cells_);
+  }
+  [[nodiscard]] const std::vector<LayerStat>& stats() const;
+  void mark_temps_changed() { stats_dirty_ = true; }
 
   StackSpec spec_;
   std::size_t n_cells_{0};
   std::size_t n_nodes_{0};  // layer cells; sink node handled separately
 
-  // Temperatures in Kelvin.
-  std::vector<double> temp_k_;
+  // Temperatures in Kelvin, ghost-padded: [n_cells ghosts][n_nodes][n_cells
+  // ghosts].  Ghost entries hold ambient, are never written, and are only
+  // ever multiplied by zero conductances.  `scratch_` has the same shape and
+  // is the persistent double-buffer partner the transient sweep swaps with.
+  std::vector<double> temp_;
+  std::vector<double> scratch_;
   double sink_temp_k_{0.0};
 
   // Power per node (watts).
   std::vector<double> power_w_;
 
-  // Conductance network (W/K).
-  std::vector<double> g_east_;    // node -> node+1 in x (0 if at edge)
-  std::vector<double> g_north_;   // node -> node+nx in y (0 if at edge)
-  std::vector<double> g_up_;      // node -> node one layer up (0 for top layer)
+  // Flat-stencil conductance tables (W/K), one entry per node, zero where
+  // the neighbour does not exist.  g_west/g_south/g_down are the mirrored
+  // views of the owning neighbour's east/north/up conductance so the sweep
+  // needs no index adjustment.
+  std::vector<double> g_east_;    // node -> node+1 in x
+  std::vector<double> g_west_;    // node -> node-1 in x
+  std::vector<double> g_north_;   // node -> node+nx in y
+  std::vector<double> g_south_;   // node -> node-nx in y
+  std::vector<double> g_up_;      // node -> node one layer up
+  std::vector<double> g_down_;    // node -> node one layer down
+  // Offset-padded sweep views: same values with n_cells leading zeros, so
+  // the transient kernel reads east/west (north/south, up/down) pairs from
+  // one array at offsets i and i-1 (i-nx, i-n_cells).
+  std::vector<double> g_east_pad_;
+  std::vector<double> g_north_pad_;
+  std::vector<double> g_up_pad_;
   std::vector<double> g_sink_;    // top-layer cells -> sink node
   std::vector<double> g_board_;   // bottom-layer cells -> ambient
   std::vector<double> g_diag_;    // sum of incident conductances per node
@@ -129,6 +196,20 @@ class StackModel {
   // Heat capacities (J/K).
   std::vector<double> cap_;
   Time stable_dt_{Time::zero()};
+
+  // Solve history for the kWarmScaled extrapolation: the converged fields
+  // and total dissipated watts of the last two steady solves.  watts <= 0
+  // means "slot empty".  hist1 is the most recent.
+  struct SteadyHistory {
+    std::vector<double> field;  // n_nodes, no ghosts
+    double sink_k{0.0};
+    double watts{-1.0};
+  };
+  SteadyHistory hist1_;
+  SteadyHistory hist2_;
+
+  mutable std::vector<LayerStat> stats_;
+  mutable bool stats_dirty_{true};
 };
 
 }  // namespace coolpim::thermal

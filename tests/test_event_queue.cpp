@@ -1,9 +1,17 @@
 // Property tests for sim::EventQueue ordering and the Simulation stop() /
 // run_until boundary semantics (previously only covered incidentally via
-// test_sim's integration cases).
+// test_sim's integration cases), plus the EventAction small-buffer contract:
+// small captures stay inline (no heap allocation per event), large captures
+// take the single-allocation heap path, and move-only callables work.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <new>
 #include <vector>
 
 #include "common/error.hpp"
@@ -11,8 +19,35 @@
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
 
+// GCC pairs the inlined replacement operator new with std::free and reports a
+// false mismatch; the replacement new below really does malloc.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Counting allocator (this test is its own binary, so the override sees every
+// allocation here).  Counter deltas are read only around the calls under test.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace coolpim::sim {
 namespace {
+
+std::uint64_t allocations() { return g_allocs.load(std::memory_order_relaxed); }
 
 TEST(EventQueueProperty, FifoWithinEveryTimestamp) {
   // Schedule many events over a handful of timestamps in random order; within
@@ -122,6 +157,120 @@ TEST(SimulationBoundary, StopDoesNotRewindTheClock) {
   const Time reached = sim.run_until(Time::us(1));
   EXPECT_EQ(reached, Time::ns(5));
   EXPECT_EQ(sim.now(), Time::ns(5));
+}
+
+TEST(EventAction, SmallCapturesStayInlineAndAllocationFree) {
+  int sum = 0;
+  int* target = &sum;  // one pointer: well under kInlineCapacity
+  const std::uint64_t before = allocations();
+  EventAction a{[target] { *target += 7; }};
+  EXPECT_EQ(allocations(), before) << "small capture took the heap path";
+  ASSERT_TRUE(a.is_inline());
+  a();
+  EXPECT_EQ(sum, 7);
+
+  // Moving an inline action relocates in place -- still no allocation.
+  EventAction b{std::move(a)};
+  EXPECT_EQ(allocations(), before);
+  EXPECT_TRUE(b.is_inline());
+  b();
+  EXPECT_EQ(sum, 14);
+}
+
+TEST(EventAction, LargeCapturesFallBackToOneHeapAllocation) {
+  std::array<double, 32> payload{};  // 256 bytes > kInlineCapacity
+  payload[31] = 42.0;
+  double out = 0.0;
+  const std::uint64_t before = allocations();
+  EventAction a{[payload, &out] { out = payload[31]; }};
+  EXPECT_EQ(allocations(), before + 1) << "expected exactly one allocation for the callable";
+  EXPECT_FALSE(a.is_inline());
+
+  // Moves of heap-backed actions shuffle the pointer, never reallocate.
+  EventAction b{std::move(a)};
+  EXPECT_EQ(allocations(), before + 1);
+  b();
+  EXPECT_EQ(out, 42.0);
+}
+
+TEST(EventAction, MoveOnlyCallablesAreAccepted) {
+  // std::function rejects this capture; EventAction must not.
+  auto flag = std::make_unique<int>(0);
+  int* raw = flag.get();
+  EventQueue q;
+  q.schedule(Time::ns(1), [owned = std::move(flag)] { *owned = 1; });
+  auto [t, action] = q.pop();
+  (void)t;
+  action();
+  EXPECT_EQ(*raw, 1);
+}
+
+TEST(EventQueueProperty, SteadyScheduleAndPopIsAllocationFree) {
+  // After reserve(), a self-rescheduling workload with small captures must
+  // run with zero heap allocations -- the tentpole claim for the event
+  // kernel (docs/PERFORMANCE.md).
+  EventQueue q;
+  q.reserve(64);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 32; ++i) {
+    q.schedule(Time::ns(i), [&fired] { ++fired; });
+  }
+
+  const std::uint64_t before = allocations();
+  Time now = Time::zero();
+  for (int round = 0; round < 10'000; ++round) {
+    auto [t, action] = q.pop();
+    now = t;
+    action();
+    q.schedule(now + Time::ns(100), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(allocations(), before) << "steady schedule/pop cycle allocated";
+  EXPECT_EQ(fired, 10'000u);
+}
+
+TEST(EventQueueProperty, RandomizedStressMatchesSortedReference) {
+  // Heavy mixed schedule/pop traffic against a stable-sorted oracle: the
+  // (time, seq) pop order must be the unique total order regardless of heap
+  // shape transitions (sift_up/sift_down across arity-4 levels).
+  Rng rng{0xdead'4a7e};
+  for (int trial = 0; trial < 10; ++trial) {
+    EventQueue q;
+    struct Ref {
+      std::int64_t t_ns;
+      int id;
+    };
+    std::vector<Ref> reference;
+    std::vector<int> pop_order;
+    int next_id = 0;
+    std::int64_t now_ns = 0;
+
+    for (int burst = 0; burst < 40; ++burst) {
+      const auto n_push = static_cast<int>(rng.next_in(1, 25));
+      for (int i = 0; i < n_push; ++i) {
+        const std::int64_t t_ns = now_ns + static_cast<std::int64_t>(rng.next_below(50));
+        const int id = next_id++;
+        reference.push_back(Ref{t_ns, id});
+        q.schedule(Time::ns(static_cast<double>(t_ns)),
+                   [&pop_order, id] { pop_order.push_back(id); });
+      }
+      const auto n_pop = std::min<std::size_t>(q.size(), rng.next_below(20));
+      for (std::size_t i = 0; i < n_pop; ++i) {
+        auto [t, action] = q.pop();
+        now_ns = t.as_ns() >= 0 ? static_cast<std::int64_t>(t.as_ns()) : 0;
+        action();
+      }
+    }
+    while (!q.empty()) q.pop().second();
+
+    // Stable sort by time keeps insertion order within a timestamp -- exactly
+    // the queue's FIFO guarantee.
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const Ref& a, const Ref& b) { return a.t_ns < b.t_ns; });
+    std::vector<int> expected;
+    expected.reserve(reference.size());
+    for (const Ref& r : reference) expected.push_back(r.id);
+    EXPECT_EQ(pop_order, expected);
+  }
 }
 
 TEST(SimulationBoundary, SameTimestampEventsAllRunAtDeadline) {

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files emitted by the perf harness.
+
+Schema check only -- no performance thresholds.  CI runs the perf binaries at
+--quick scale and uploads the JSONs as artifacts; this script guards the
+contract that downstream tooling (and humans diffing artifacts across PRs)
+relies on: the schema tag, the required keys, their types, and that every
+number is finite and non-negative.
+
+Usage:
+    python3 tools/check_bench.py BENCH_thermal.json [BENCH_sim.json ...]
+"""
+
+import json
+import math
+import sys
+
+NUM = (int, float)
+
+# schema tag -> {key path: expected type(s)}.  A trailing "[]" walks every
+# element of an array.
+SCHEMAS = {
+    "coolpim-bench-thermal/1": {
+        "quick": bool,
+        "transient.nodes": NUM,
+        "transient.substeps_per_step": NUM,
+        "transient.fast_steps_timed": NUM,
+        "transient.reference_steps_timed": NUM,
+        "transient.fast_ns_per_cell_substep": NUM,
+        "transient.reference_ns_per_cell_substep": NUM,
+        "transient.speedup": NUM,
+        "transient.bit_identical": bool,
+        "steady.points_per_sweep": NUM,
+        "steady.cold_iterations": NUM,
+        "steady.warm_iterations": NUM,
+        "steady.iteration_reduction": NUM,
+        "steady.cold_ms": NUM,
+        "steady.warm_ms": NUM,
+    },
+    "coolpim-bench-sim/1": {
+        "quick": bool,
+        "queue.events": NUM,
+        "queue.wall_ms": NUM,
+        "queue.events_per_sec": NUM,
+        "queue.ns_per_event": NUM,
+        "periodic.events": NUM,
+        "periodic.wall_ms": NUM,
+        "periodic.events_per_sec": NUM,
+        "periodic.ns_per_event": NUM,
+        "end_to_end.scale": NUM,
+        "end_to_end.workload_build_ms": NUM,
+        "end_to_end.total_wall_ms": NUM,
+        "end_to_end.runs[].workload": str,
+        "end_to_end.runs[].scenario": str,
+        "end_to_end.runs[].wall_ms": NUM,
+        "end_to_end.runs[].sim_time_ms": NUM,
+        "end_to_end.runs[].peak_dram_c": NUM,
+    },
+}
+
+
+def fail(msg):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def lookup(doc, path, where):
+    """Yield (location, value) for a dotted path; "[]" fans out over arrays."""
+    head, _, rest = path.partition(".")
+    if head.endswith("[]"):
+        arr = doc.get(head[:-2])
+        if not isinstance(arr, list):
+            fail(f"{where}: '{head[:-2]}' must be an array")
+        if not arr:
+            fail(f"{where}: array '{head[:-2]}' must not be empty")
+        for i, elem in enumerate(arr):
+            if not isinstance(elem, dict):
+                fail(f"{where}: '{head[:-2]}[{i}]' must be an object")
+            yield from lookup(elem, rest, f"{where} [{i}]")
+        return
+    if not isinstance(doc, dict) or head not in doc:
+        fail(f"{where}: missing key '{head}'")
+    if rest:
+        yield from lookup(doc[head], rest, where)
+    else:
+        yield f"{where}:{head}", doc[head]
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    schema = doc.get("schema")
+    keys = SCHEMAS.get(schema)
+    if keys is None:
+        known = ", ".join(sorted(SCHEMAS))
+        fail(f"{path}: unknown schema tag {schema!r} (known: {known})")
+
+    for key, expected in keys.items():
+        for where, value in lookup(doc, key, path):
+            # bool is an int subclass; keep the check strict.
+            if isinstance(value, bool) and expected is not bool:
+                fail(f"{where}: expected a number, got a bool")
+            if not isinstance(value, expected):
+                fail(f"{where}: expected {expected}, got {type(value).__name__}")
+            if isinstance(value, NUM) and not isinstance(value, bool):
+                if not math.isfinite(value):
+                    fail(f"{where}: value must be finite, got {value}")
+                if value < 0:
+                    fail(f"{where}: value must be non-negative, got {value}")
+    print(f"check_bench: {path} OK ({schema})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail(f"usage: {argv[0]} BENCH_file.json [...]")
+    for path in argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
