@@ -167,7 +167,13 @@ int main(int argc, char** argv) {
   for (const auto& w : opt.workloads) extended |= (w == "cc" || w == "tc");
   std::cout << "Building LDBC-like graph (scale " << opt.scale << ", seed " << opt.seed
             << ") and workload profiles...\n";
-  const sys::WorkloadSet set{opt.scale, opt.seed, extended};
+  sys::WorkloadSet::BuildOptions build_opt;
+  build_opt.jobs = opt.jobs;  // same knob as the sweep; identical at any value
+  const sys::WorkloadSet set{opt.scale, opt.seed, extended, build_opt};
+  if (set.build_stats().cache_hits > 0) {
+    std::cout << "Profiles served from COOLPIM_PROFILE_CACHE ("
+              << set.build_stats().cache_hits << " workloads).\n";
+  }
 
   // Every (workload, scenario) pair is an independent task for the parallel
   // runner; results come back in submission order regardless of jobs.

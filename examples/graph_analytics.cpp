@@ -23,10 +23,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
 
   const CsrGraph g = make_ldbc_like(scale, seed);
-  VertexId hub = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (g.out_degree(v) > g.out_degree(hub)) hub = v;
-  }
+  const VertexId hub = g.max_degree_vertex();
   std::cout << "LDBC-like graph: " << g.num_vertices() << " vertices, " << g.num_edges()
             << " edges, max degree " << g.max_degree() << " (hub vertex " << hub << ")\n";
 

@@ -158,15 +158,24 @@ Time ExecutionEngine::commit(Time now, Time window, const hmc::EpochService& ser
   const double advance = gpu_advance * service.served_fraction;
 
   prog_.fraction_done += advance;
-  stats_.counter("pim_ops").add(static_cast<std::uint64_t>(service.pim_ops + 0.5));
-  stats_.counter("host_atomics").add(static_cast<std::uint64_t>(
-      launch.mem.atomic_ops * advance * (1.0 - pim_fraction(now)) + 0.5));
+  // Both op streams are fractional per epoch; rounding each epoch
+  // independently (the old `+ 0.5` cast) drifts by up to half an op per
+  // epoch over long runs.  Instead accumulate the exact running sum and
+  // emit the integer delta, so the counter total is always floor(sum).
+  pim_ops_accum_ += service.pim_ops;
+  host_atomics_accum_ += launch.mem.atomic_ops * advance * (1.0 - pim_fraction(now));
+  const auto pim_total = static_cast<std::uint64_t>(pim_ops_accum_);
+  const auto host_total = static_cast<std::uint64_t>(host_atomics_accum_);
+  const std::uint64_t pim_inc = pim_total - pim_ops_emitted_;
+  const std::uint64_t host_inc = host_total - host_atomics_emitted_;
+  pim_ops_emitted_ = pim_total;
+  host_atomics_emitted_ = host_total;
+  stats_.counter("pim_ops").add(pim_inc);
+  stats_.counter("host_atomics").add(host_inc);
   stats_.summary("pim_fraction").record(pim_fraction(now));
   if (counters_) {
-    counters_->counter("gpu/pim_ops").add(static_cast<std::uint64_t>(service.pim_ops + 0.5));
-    counters_->counter("gpu/host_atomics")
-        .add(static_cast<std::uint64_t>(
-            launch.mem.atomic_ops * advance * (1.0 - pim_fraction(now)) + 0.5));
+    counters_->counter("gpu/pim_ops").add(pim_inc);
+    counters_->counter("gpu/host_atomics").add(host_inc);
     counters_->gauge("gpu/pim_fraction").set(pim_fraction(now));
   }
 

@@ -101,6 +101,13 @@ class ExecutionEngine {
 
   std::size_t launch_idx_{0};
   Progress prog_{};
+  // Exact running sums of the fractional per-epoch op streams and how much
+  // of each has been emitted to the integer counters (commit() adds the
+  // delta, so totals never drift from the true sum by more than one op).
+  double pim_ops_accum_{0.0};
+  double host_atomics_accum_{0.0};
+  std::uint64_t pim_ops_emitted_{0};
+  std::uint64_t host_atomics_emitted_{0};
   Time launch_began_{Time::zero()};
   // Residency: flags for resident blocks, true = holds a PIM token.
   std::deque<bool> resident_;

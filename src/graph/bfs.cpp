@@ -1,5 +1,6 @@
 // Breadth-first search variants (GraphBIG GPU kernels, functional model).
 #include <algorithm>
+#include <bit>
 
 #include "graph/simt.hpp"
 #include "graph/workloads.hpp"
@@ -66,6 +67,7 @@ WorkloadProfile run_bfs(const CsrGraph& g, VertexId source, BfsVariant variant) 
   COOLPIM_REQUIRE(source < g.num_vertices(), "BFS source out of range");
   const auto t = traits_for(variant);
   const VertexId n = g.num_vertices();
+  const std::vector<std::uint32_t>& degree = g.degrees();
 
   WorkloadProfile profile;
   profile.name = name_for(variant);
@@ -77,32 +79,42 @@ WorkloadProfile run_bfs(const CsrGraph& g, VertexId source, BfsVariant variant) 
 
   std::vector<std::uint32_t> level(n, kUnreached);
   level[source] = 0;
+
+  // All iteration state is hoisted out of the level loop and reused: the
+  // frontier queue, the next-frontier bitmap it is rebuilt from, the SIMT
+  // work buffer and (thread-centric) the active-warp index list.  Every
+  // IterationProfile field is a sum over the frontier *set*, so rebuilding
+  // the frontier in ascending id order from the bitmap leaves the profile
+  // bit-identical to the push-in-discovery-order path (the only
+  // order-sensitive costing, thread-centric warp grouping, is indexed by
+  // vertex id, not queue position).
   std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::vector<std::uint64_t> next_bits((static_cast<std::size_t>(n) + 63) / 64, 0);
+  std::vector<std::uint32_t> work;   // per-lane trip counts for SIMT costing
+  std::vector<std::uint32_t> warp_ids;
+  const bool thread_centric = t.parallelism == Parallelism::kThreadCentric;
+  if (thread_centric) work.assign(n, 0);  // sparse-maintained dense lane vector
 
   std::uint32_t depth = 0;
-  std::vector<std::uint32_t> work;  // per-lane trip counts for SIMT costing
   while (!frontier.empty()) {
     IterationProfile it{};
-    std::vector<VertexId> next;
 
-    // Determine the scan set and per-lane work.
+    // Determine the scan set.
     if (t.driver == Driver::kTopology) {
       it.scanned_vertices = n;
-      work.assign(n, 0);
-      for (const VertexId v : frontier) work[v] = g.out_degree(v);
       // Topology scan streams row_ptr and the level array.
       it.struct_scan_bytes += static_cast<std::uint64_t>(n) * (8 + 4);
     } else {
       it.scanned_vertices = frontier.size();
-      work.resize(frontier.size());
-      for (std::size_t i = 0; i < frontier.size(); ++i) work[i] = g.out_degree(frontier[i]);
       // Frontier queue read + random row_ptr pair per frontier vertex.
       it.struct_scan_bytes += frontier.size() * 4;
       it.property_reads += 2 * frontier.size();
     }
     it.active_vertices = frontier.size();
 
-    // Edge processing.
+    // Edge processing; discoveries go to the next-frontier bitmap.
+    std::uint64_t discovered = 0;
     for (const VertexId v : frontier) {
       for (const VertexId dst : g.neighbors(v)) {
         ++it.edges_processed;
@@ -112,7 +124,8 @@ WorkloadProfile run_bfs(const CsrGraph& g, VertexId source, BfsVariant variant) 
         ++it.atomic_ops;  // atomicMin(level[dst], depth+1)
         if (level[dst] == kUnreached) {
           level[dst] = depth + 1;
-          next.push_back(dst);
+          next_bits[dst >> 6] |= 1ULL << (dst & 63);
+          ++discovered;
         }
       }
     }
@@ -125,29 +138,60 @@ WorkloadProfile run_bfs(const CsrGraph& g, VertexId source, BfsVariant variant) 
 
     if (t.driver == Driver::kData) {
       // Enqueue discovered vertices: atomicAdd on the queue tail + store.
-      it.atomic_ops += next.size();
-      it.property_writes += next.size();
+      it.atomic_ops += discovered;
+      it.property_writes += discovered;
     } else if (t.atomic_frontier) {
       // bfs-ta maintains the next-frontier bitmap with atomic bit writes and
       // scans it alongside the level array every iteration.
-      it.atomic_ops += next.size();
+      it.atomic_ops += discovered;
       it.struct_scan_bytes += n / 8;
     }
 
-    // SIMT execution cost.
-    const SimtCost cost = t.parallelism == Parallelism::kThreadCentric
-                              ? thread_centric_cost(work, kInstrPerEdge, kWarpBase)
-                              : warp_centric_cost(work, kInstrPerEdge, kWarpBase);
+    // SIMT execution cost: only warps (thread-centric) or lanes
+    // (warp-centric) that carry frontier work are visited; the idle rest is
+    // folded in closed form (bit-identical to the dense reference costing).
+    SimtCost cost;
+    if (thread_centric) {
+      warp_ids.clear();
+      for (const VertexId v : frontier) {
+        work[v] = degree[v];
+        warp_ids.push_back(v / kWarpSize);
+      }
+      std::sort(warp_ids.begin(), warp_ids.end());
+      warp_ids.erase(std::unique(warp_ids.begin(), warp_ids.end()), warp_ids.end());
+      cost = thread_centric_cost_sparse(work, warp_ids, n, kInstrPerEdge, kWarpBase);
+      for (const VertexId v : frontier) work[v] = 0;
+    } else if (t.driver == Driver::kTopology) {
+      work.clear();
+      for (const VertexId v : frontier) work.push_back(degree[v]);
+      cost = warp_centric_cost_sparse(work, n, kInstrPerEdge, kWarpBase);
+    } else {
+      work.clear();
+      for (const VertexId v : frontier) work.push_back(degree[v]);
+      cost = warp_centric_cost(work, kInstrPerEdge, kWarpBase);
+    }
     it.compute_warp_instructions = cost.warp_instructions;
     it.divergent_warp_ratio = t.parallelism == Parallelism::kWarpCentric
                                   ? 0.02  // residual tail divergence only
                                   : cost.divergent_ratio();
-    it.work_threads = t.parallelism == Parallelism::kThreadCentric
-                          ? it.scanned_vertices
-                          : it.scanned_vertices * kWarpSize;
+    it.work_threads = thread_centric ? it.scanned_vertices
+                                     : it.scanned_vertices * kWarpSize;
 
     profile.iterations.push_back(it);
-    frontier = std::move(next);
+
+    // Rebuild the frontier from the bitmap (ascending ids), clearing as we go.
+    next.clear();
+    for (std::size_t w = 0; w < next_bits.size(); ++w) {
+      std::uint64_t bits = next_bits[w];
+      if (bits == 0) continue;
+      next_bits[w] = 0;
+      while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        next.push_back(static_cast<VertexId>((w << 6) | b));
+        bits &= bits - 1;
+      }
+    }
+    frontier.swap(next);
     ++depth;
   }
 

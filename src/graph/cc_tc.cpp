@@ -29,9 +29,7 @@ WorkloadProfile run_connected_components(const CsrGraph& g) {
   // along out-edges in both directions each round until no label changes.
   std::vector<VertexId> label(n);
   for (VertexId v = 0; v < n; ++v) label[v] = v;
-  std::vector<std::uint32_t> work(n);
-  for (VertexId v = 0; v < n; ++v) work[v] = g.out_degree(v);
-  const SimtCost cost = thread_centric_cost(work, kInstrPerEdge, kWarpBase);
+  const SimtCost cost = thread_centric_cost(g.degrees(), kInstrPerEdge, kWarpBase);
 
   bool changed = true;
   while (changed) {

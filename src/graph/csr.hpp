@@ -8,6 +8,10 @@
 
 #include "common/error.hpp"
 
+namespace coolpim::runner {
+class Pool;
+}  // namespace coolpim::runner
+
 namespace coolpim::graph {
 
 using VertexId = std::uint32_t;
@@ -20,9 +24,15 @@ class CsrGraph {
 
   /// Build from an edge list.  Self-loops are kept; duplicate edges are kept
   /// (graph generators may produce multi-edges, as real datasets do).
+  ///
+  /// With a pool of more than one job the counting sort runs chunked in
+  /// parallel; the chunked scatter preserves the input order of every
+  /// source's edges, so the resulting arrays are bit-identical to the serial
+  /// build at any jobs count (tested in test_csr).
   static CsrGraph from_edges(VertexId num_vertices,
                              std::vector<std::pair<VertexId, VertexId>> edges,
-                             std::vector<std::uint32_t> weights = {});
+                             std::vector<std::uint32_t> weights = {},
+                             runner::Pool* pool = nullptr);
 
   [[nodiscard]] VertexId num_vertices() const { return n_; }
   [[nodiscard]] EdgeId num_edges() const { return static_cast<EdgeId>(col_idx_.size()); }
@@ -30,8 +40,14 @@ class CsrGraph {
 
   [[nodiscard]] std::uint32_t out_degree(VertexId v) const {
     COOLPIM_ASSERT(v < n_);
-    return static_cast<std::uint32_t>(row_ptr_[v + 1] - row_ptr_[v]);
+    return degrees_[v];
   }
+
+  /// Cached per-vertex out-degree table, built once with the CSR arrays.
+  /// Kernels index this instead of differencing row_ptr per lookup, and the
+  /// all-lanes-active workloads (dc, pagerank, cc) feed it straight into the
+  /// SIMT cost model as their per-lane work vector.
+  [[nodiscard]] const std::vector<std::uint32_t>& degrees() const { return degrees_; }
 
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
     COOLPIM_ASSERT(v < n_);
@@ -48,6 +64,10 @@ class CsrGraph {
 
   /// Maximum out-degree (used by divergence estimation and Eq. 1 inputs).
   [[nodiscard]] std::uint32_t max_degree() const;
+  /// Lowest-id vertex of maximum out-degree -- the traversal source every
+  /// BFS/SSSP profiling run starts from (RMAT graphs have isolated vertices,
+  /// so random sources are useless).
+  [[nodiscard]] VertexId max_degree_vertex() const;
   [[nodiscard]] double mean_degree() const {
     return n_ ? static_cast<double>(num_edges()) / static_cast<double>(n_) : 0.0;
   }
@@ -63,6 +83,7 @@ class CsrGraph {
   std::vector<EdgeId> row_ptr_;
   std::vector<VertexId> col_idx_;
   std::vector<std::uint32_t> weights_;
+  std::vector<std::uint32_t> degrees_;
 };
 
 }  // namespace coolpim::graph

@@ -26,8 +26,6 @@ WorkloadProfile run_degree_centrality(const CsrGraph& g) {
   profile.graph_edges = g.num_edges();
 
   std::vector<std::uint32_t> in_degree(n, 0);
-  std::vector<std::uint32_t> work(n);
-  for (VertexId v = 0; v < n; ++v) work[v] = g.out_degree(v);
 
   IterationProfile it{};
   it.scanned_vertices = n;
@@ -46,7 +44,9 @@ WorkloadProfile run_degree_centrality(const CsrGraph& g) {
   it.struct_scan_bytes = static_cast<std::uint64_t>(n) * 8 + it.edges_processed * 24;
   it.property_writes = n;
 
-  const SimtCost cost = thread_centric_cost(work, kInstrPerEdge, kWarpBase);
+  // Every lane carries its out-degree; the cached degree table is that work
+  // vector already.
+  const SimtCost cost = thread_centric_cost(g.degrees(), kInstrPerEdge, kWarpBase);
   it.compute_warp_instructions = cost.warp_instructions;
   it.divergent_warp_ratio = cost.divergent_ratio();
   profile.iterations.push_back(it);
@@ -71,14 +71,19 @@ WorkloadProfile run_kcore(const CsrGraph& g, unsigned k) {
   // Effective degree starts at out-degree + in-degree to approximate the
   // undirected degree k-core uses; we compute in-degree first (that pass is
   // part of dc, not re-counted here).
+  const std::vector<std::uint32_t>& out_deg = g.degrees();
   std::vector<std::int64_t> degree(n, 0);
   for (VertexId v = 0; v < n; ++v) {
-    degree[v] += g.out_degree(v);
+    degree[v] += out_deg[v];
     for (const VertexId dst : g.neighbors(v)) ++degree[dst];
   }
 
   std::vector<std::uint8_t> removed(n, 0);
-  std::vector<std::uint32_t> work(n);
+  // Dense lane-work vector maintained sparsely: only peel entries are ever
+  // nonzero, and they are reset after each round's costing.
+  std::vector<std::uint32_t> work(n, 0);
+  std::vector<VertexId> peel;
+  std::vector<std::uint32_t> warp_ids;
 
   bool changed = true;
   while (changed) {
@@ -88,12 +93,11 @@ WorkloadProfile run_kcore(const CsrGraph& g, unsigned k) {
     it.work_threads = n;
 
     // Mark pass: every thread checks its vertex state (streaming reads).
-    std::vector<VertexId> peel;
+    peel.clear();
     for (VertexId v = 0; v < n; ++v) {
-      work[v] = 0;
       if (!removed[v] && degree[v] < static_cast<std::int64_t>(k)) {
         peel.push_back(v);
-        work[v] = g.out_degree(v);
+        work[v] = out_deg[v];
       }
     }
     it.active_vertices = peel.size();
@@ -113,7 +117,15 @@ WorkloadProfile run_kcore(const CsrGraph& g, unsigned k) {
 
     it.struct_scan_bytes =
         static_cast<std::uint64_t>(n) * (8 + 8 + 1) + it.edges_processed * 24;
-    const SimtCost cost = thread_centric_cost(work, kInstrPerEdge, kWarpBase);
+    // Peel rounds activate few lanes; cost only their warps and fold the idle
+    // rest in closed form.  Peel is collected in ascending id order, so the
+    // warp index list is already sorted and only needs deduplication.
+    warp_ids.clear();
+    for (const VertexId v : peel) warp_ids.push_back(v / kWarpSize);
+    warp_ids.erase(std::unique(warp_ids.begin(), warp_ids.end()), warp_ids.end());
+    const SimtCost cost =
+        thread_centric_cost_sparse(work, warp_ids, n, kInstrPerEdge, kWarpBase);
+    for (const VertexId v : peel) work[v] = 0;
     it.compute_warp_instructions = cost.warp_instructions;
     it.divergent_warp_ratio = cost.divergent_ratio();
     profile.iterations.push_back(it);

@@ -16,7 +16,7 @@ std::vector<std::uint32_t> random_weights(Rng& rng, std::size_t n, std::uint32_t
 }  // namespace
 
 CsrGraph make_rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
-                   const RmatParams& params) {
+                   const RmatParams& params, runner::Pool* pool) {
   COOLPIM_REQUIRE(scale >= 1 && scale <= 30, "rmat scale out of range");
   const double d = 1.0 - params.a - params.b - params.c;
   COOLPIM_REQUIRE(d >= 0.0, "rmat probabilities must sum to <= 1");
@@ -34,23 +34,23 @@ CsrGraph make_rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
     }
   }
 
+  // Quadrant selection in the integer domain.  next_double() is exactly
+  // (next_u64() >> 11) * 2^-53 and multiplying a double threshold by 2^53 is
+  // exact (pure exponent shift), so `r < t` over doubles is equivalent to
+  // `u < ceil(t * 2^53)` over the raw 53-bit draw -- same RNG stream, same
+  // edges, no int->double conversion and no branch chain per bit.
+  const auto tab = static_cast<std::uint64_t>(std::ceil((params.a + params.b) * 0x1p53));
+  const std::uint64_t quadrant_lo[2] = {
+      static_cast<std::uint64_t>(std::ceil(params.a * 0x1p53)),
+      static_cast<std::uint64_t>(std::ceil((params.a + params.b + params.c) * 0x1p53))};
   std::vector<std::pair<VertexId, VertexId>> edges;
   edges.reserve(m);
   for (EdgeId e = 0; e < m; ++e) {
     VertexId src = 0, dst = 0;
     for (unsigned bit = 0; bit < scale; ++bit) {
-      const double r = rng.next_double();
-      unsigned sx = 0, sy = 0;
-      if (r < params.a) {
-        // top-left quadrant
-      } else if (r < params.a + params.b) {
-        sy = 1;
-      } else if (r < params.a + params.b + params.c) {
-        sx = 1;
-      } else {
-        sx = 1;
-        sy = 1;
-      }
+      const std::uint64_t u = rng.next_u64() >> 11;
+      const unsigned sx = u >= tab;          // right half (quadrants c/d)
+      const unsigned sy = u >= quadrant_lo[sx];  // bottom half within it
       src = (src << 1) | sx;
       dst = (dst << 1) | sy;
     }
@@ -59,14 +59,14 @@ CsrGraph make_rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
 
   std::vector<std::uint32_t> weights;
   if (params.weighted) weights = random_weights(rng, edges.size(), params.max_weight);
-  return CsrGraph::from_edges(n, std::move(edges), std::move(weights));
+  return CsrGraph::from_edges(n, std::move(edges), std::move(weights), pool);
 }
 
-CsrGraph make_ldbc_like(unsigned scale, std::uint64_t seed) {
+CsrGraph make_ldbc_like(unsigned scale, std::uint64_t seed, runner::Pool* pool) {
   // LDBC interactive "knows" graphs average ~16-30 neighbours with a strongly
   // skewed tail; RMAT at edge factor 16 with the Graph500 parameters matches
   // the degree skew graph workloads are sensitive to.
-  return make_rmat(scale, 16, seed);
+  return make_rmat(scale, 16, seed, {}, pool);
 }
 
 CsrGraph make_uniform(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed,

@@ -23,11 +23,15 @@ struct RmatParams {
 };
 
 /// RMAT graph with 2^scale vertices and edge_factor * 2^scale edges.
+/// Edge sampling is a sequential RNG walk; the CSR build fans out over
+/// `pool` when given (bit-identical output at any jobs count).
 [[nodiscard]] CsrGraph make_rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
-                                 const RmatParams& params = {});
+                                 const RmatParams& params = {},
+                                 runner::Pool* pool = nullptr);
 
 /// "LDBC-like" social network: RMAT with LDBC-interactive-like skew.
-[[nodiscard]] CsrGraph make_ldbc_like(unsigned scale, std::uint64_t seed);
+[[nodiscard]] CsrGraph make_ldbc_like(unsigned scale, std::uint64_t seed,
+                                      runner::Pool* pool = nullptr);
 
 /// Erdos-Renyi style uniform random graph (by edge sampling).
 [[nodiscard]] CsrGraph make_uniform(VertexId num_vertices, EdgeId num_edges,

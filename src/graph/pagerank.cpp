@@ -28,12 +28,11 @@ WorkloadProfile run_pagerank(const CsrGraph& g, unsigned iterations) {
 
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
-  std::vector<std::uint32_t> work(n);
-  for (VertexId v = 0; v < n; ++v) work[v] = g.out_degree(v);
 
   // The per-lane work vector never changes: every iteration pushes along all
-  // edges, so the SIMT cost is identical across iterations.
-  const SimtCost cost = thread_centric_cost(work, kInstrPerEdge, kWarpBase);
+  // edges, so the SIMT cost is identical across iterations -- and equals the
+  // cached degree table, no copy needed.
+  const SimtCost cost = thread_centric_cost(g.degrees(), kInstrPerEdge, kWarpBase);
 
   for (unsigned i = 0; i < iterations; ++i) {
     IterationProfile it{};

@@ -59,6 +59,45 @@ inline SimtCost thread_centric_cost(std::span<const std::uint32_t> work, double 
   return cost;
 }
 
+/// Sparse-frontier thread-centric cost: bit-identical to thread_centric_cost
+/// over a dense `work` vector of `total_lanes` entries that is zero outside
+/// the active lanes, but only visits warps that contain at least one active
+/// lane.  `active_warps` must hold the sorted, deduplicated warp indices
+/// (lane / 32) of every lane with nonzero work; the remaining warps each
+/// contribute exactly the empty-warp cost of the dense reference (`warps`
+/// counted, base instructions issued, no divergence), folded in closed form.
+/// The dense function is retained as the equivalence oracle (tested on
+/// adversarial frontiers in test_profile_fastpath).
+inline SimtCost thread_centric_cost_sparse(std::span<const std::uint32_t> work,
+                                           std::span<const std::uint32_t> active_warps,
+                                           std::size_t total_lanes, double instr_per_item,
+                                           double base_instr) {
+  SimtCost cost;
+  const std::uint64_t total_warps = (total_lanes + kWarpSize - 1) / kWarpSize;
+  cost.warps = total_warps;
+  cost.warp_instructions = (total_warps - active_warps.size()) *
+                           static_cast<std::uint64_t>(base_instr);
+  for (const std::uint32_t w : active_warps) {
+    const std::size_t i = static_cast<std::size_t>(w) * kWarpSize;
+    const std::size_t end = std::min(total_lanes, i + kWarpSize);
+    std::uint32_t max_w = 0;
+    std::uint64_t sum_w = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      max_w = std::max(max_w, work[j]);
+      sum_w += work[j];
+    }
+    cost.warp_instructions += static_cast<std::uint64_t>(
+        base_instr + instr_per_item * static_cast<double>(max_w));
+    if (max_w > 0) {
+      ++cost.active_warps;
+      const double mean = static_cast<double>(sum_w) /
+                          static_cast<double>(std::min<std::size_t>(kWarpSize, end - i));
+      cost.divergence_accum += 1.0 - mean / static_cast<double>(max_w);
+    }
+  }
+  return cost;
+}
+
 /// Warp-centric cost: one warp per work item, edge list strided 32-wide.
 /// Control flow is uniform across the warp; only the tail chunk predicates
 /// lanes off, which we do not count as divergence (matching the low ratio
@@ -73,6 +112,21 @@ inline SimtCost warp_centric_cost(std::span<const std::uint32_t> work, double in
     cost.warp_instructions += static_cast<std::uint64_t>(
         base_instr + instr_per_item * static_cast<double>(chunks));
   }
+  return cost;
+}
+
+/// Sparse-frontier warp-centric cost: bit-identical to warp_centric_cost over
+/// a dense vector of `total_items` entries that is zero outside the
+/// `active_work` values (any order -- per-item costs are order-independent).
+/// Each idle item still runs one strided pass for the work check, folded in
+/// closed form instead of being scanned.
+inline SimtCost warp_centric_cost_sparse(std::span<const std::uint32_t> active_work,
+                                         std::size_t total_items, double instr_per_item,
+                                         double base_instr) {
+  SimtCost cost = warp_centric_cost(active_work, instr_per_item, base_instr);
+  const std::uint64_t idle = total_items - active_work.size();
+  cost.warps += idle;
+  cost.warp_instructions += idle * static_cast<std::uint64_t>(base_instr + instr_per_item);
   return cost;
 }
 

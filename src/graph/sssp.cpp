@@ -40,6 +40,7 @@ WorkloadProfile run_sssp(const CsrGraph& g, VertexId source, SsspVariant variant
   COOLPIM_REQUIRE(g.has_weights(), "SSSP needs edge weights");
   const auto t = traits_for(variant);
   const VertexId n = g.num_vertices();
+  const std::vector<std::uint32_t>& degree = g.degrees();
 
   WorkloadProfile profile;
   profile.name = name_for(variant);
@@ -51,23 +52,26 @@ WorkloadProfile run_sssp(const CsrGraph& g, VertexId source, SsspVariant variant
 
   std::vector<std::uint32_t> dist(n, kUnreached);
   dist[source] = 0;
-  std::vector<VertexId> frontier{source};
-  std::vector<std::uint8_t> in_next(n, 0);
 
+  // Unlike BFS, the next frontier stays a push queue: the data-driven
+  // thread-centric variant (sssp-dtc) groups frontier entries into warps by
+  // *queue position*, so discovery order is part of the profile and a
+  // bitmap rebuild (which sorts by vertex id) would change the warp
+  // grouping.  The queue, the dedup bitmap and the SIMT work buffer are all
+  // hoisted and reused across rounds instead.
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::vector<std::uint8_t> in_next(n, 0);
   std::vector<std::uint32_t> work;
+
   while (!frontier.empty()) {
     IterationProfile it{};
-    std::vector<VertexId> next;
 
     if (t.driver == Driver::kTopology) {
       it.scanned_vertices = n;
-      work.assign(n, 0);
-      for (const VertexId v : frontier) work[v] = g.out_degree(v);
       it.struct_scan_bytes += static_cast<std::uint64_t>(n) * (8 + 4 + 1);  // row_ptr/dist/flag
     } else {
       it.scanned_vertices = frontier.size();
-      work.resize(frontier.size());
-      for (std::size_t i = 0; i < frontier.size(); ++i) work[i] = g.out_degree(frontier[i]);
       it.struct_scan_bytes += frontier.size() * 4;
       it.property_reads += 2 * frontier.size();
     }
@@ -105,9 +109,19 @@ WorkloadProfile run_sssp(const CsrGraph& g, VertexId source, SsspVariant variant
       it.property_writes += next.size();
     }
 
-    const SimtCost cost = t.parallelism == Parallelism::kThreadCentric
-                              ? thread_centric_cost(work, kInstrPerEdge, kWarpBase)
-                              : warp_centric_cost(work, kInstrPerEdge, kWarpBase);
+    // SIMT cost.  Topology rounds visit only frontier lanes and fold the
+    // idle remainder in closed form; data-driven rounds cost the
+    // queue-ordered frontier directly (it is already sparse).
+    work.clear();
+    for (const VertexId v : frontier) work.push_back(degree[v]);
+    SimtCost cost;
+    if (t.driver == Driver::kTopology) {
+      cost = warp_centric_cost_sparse(work, n, kInstrPerEdge, kWarpBase);
+    } else {
+      cost = t.parallelism == Parallelism::kThreadCentric
+                 ? thread_centric_cost(work, kInstrPerEdge, kWarpBase)
+                 : warp_centric_cost(work, kInstrPerEdge, kWarpBase);
+    }
     it.compute_warp_instructions = cost.warp_instructions;
     it.divergent_warp_ratio =
         t.parallelism == Parallelism::kWarpCentric ? 0.02 : cost.divergent_ratio();
@@ -117,7 +131,8 @@ WorkloadProfile run_sssp(const CsrGraph& g, VertexId source, SsspVariant variant
 
     profile.iterations.push_back(it);
     for (const VertexId v : next) in_next[v] = 0;
-    frontier = std::move(next);
+    frontier.swap(next);
+    next.clear();
   }
 
   profile.result_checksum = checksum_vector(dist);

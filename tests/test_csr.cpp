@@ -7,6 +7,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/generator.hpp"
+#include "runner/pool.hpp"
 
 namespace coolpim::graph {
 namespace {
@@ -67,6 +68,63 @@ TEST(CsrTest, StructureBytesAccounting) {
                                  4 * sizeof(VertexId) +      // col_idx
                                  4 * sizeof(std::uint32_t);  // weights
   EXPECT_EQ(g.structure_bytes(), expected);
+}
+
+TEST(CsrTest, DegreeTableMatchesRowPtr) {
+  const CsrGraph g = make_rmat(10, 8, 5);
+  ASSERT_EQ(g.degrees().size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degrees()[v], g.out_degree(v));
+  }
+}
+
+TEST(CsrTest, MaxDegreeVertexIsLowestIdArgmax) {
+  // Ties break toward the lowest vertex id -- the same answer the original
+  // linear hub scans produced.
+  const CsrGraph g = CsrGraph::from_edges(4, {{2, 0}, {2, 1}, {3, 0}, {3, 1}, {0, 1}});
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.max_degree_vertex(), 2u);  // vertices 2 and 3 both have degree 2
+
+  const CsrGraph empty = CsrGraph::from_edges(3, {});
+  EXPECT_EQ(empty.max_degree_vertex(), 0u);
+
+  const CsrGraph r = make_rmat(10, 8, 5);
+  VertexId expect = 0;
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < r.num_vertices(); ++v) {
+    if (r.out_degree(v) > best) {
+      best = r.out_degree(v);
+      expect = v;
+    }
+  }
+  EXPECT_EQ(r.max_degree_vertex(), expect);
+}
+
+TEST(CsrTest, ParallelBuildBitIdenticalToSerial) {
+  // The chunked parallel counting sort must produce the same arrays as the
+  // serial build at any jobs count, including edge-order-sensitive cases
+  // (multi-edges and weights keep their insertion order per source).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<std::uint32_t> weights;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    edges.emplace_back((i * 2654435761u) % 997, (i * 40503u) % 997);
+    weights.push_back(i % 64 + 1);
+  }
+  const CsrGraph serial = CsrGraph::from_edges(997, edges, weights);
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    SCOPED_TRACE(jobs);
+    runner::Pool pool{jobs};
+    const CsrGraph parallel = CsrGraph::from_edges(997, edges, weights, &pool);
+    EXPECT_EQ(parallel.row_ptr(), serial.row_ptr());
+    EXPECT_EQ(parallel.col_idx(), serial.col_idx());
+    ASSERT_TRUE(parallel.has_weights());
+    for (VertexId v = 0; v < 997; ++v) {
+      const auto a = parallel.edge_weights(v);
+      const auto b = serial.edge_weights(v);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+  }
 }
 
 // Property sweep: degree sums equal edge counts for all generators.

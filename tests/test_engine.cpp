@@ -134,6 +134,43 @@ TEST(EngineTest, ServiceFractionSlowsProgress) {
   EXPECT_LT(run(fast, 1.0), run(slow, 0.5));
 }
 
+TEST(EngineTest, CommittedOpTotalsMatchLaunchAtomics) {
+  // Per-epoch pim_ops/host_atomics increments are fractional; the engine
+  // accumulates the exact double totals and emits integer deltas, so the
+  // counters must match the launch's atomic budget to within rounding of the
+  // final sum -- not drift by up to half an op per epoch the way per-epoch
+  // truncation would.
+  const double atomics = 123457.0;
+  auto run = [](ExecutionEngine& engine) {
+    Time now = Time::zero();
+    int epochs = 0;
+    while (!engine.finished() && epochs < 200000) {
+      const auto d = engine.plan(now, Time::us(10));
+      now += engine.commit(now, Time::us(10), full_service(d));
+      ++epochs;
+    }
+    ASSERT_TRUE(engine.finished());
+    ASSERT_GT(epochs, 10);  // the total really was split across many epochs
+  };
+  {
+    GpuConfig cfg;
+    core::NaiveController ctrl;  // pim_fraction == 1: everything offloads
+    ExecutionEngine engine{cfg, {simple_launch(1e7, 0, atomics, 64)}, ctrl};
+    run(engine);
+    EXPECT_NEAR(static_cast<double>(engine.stats().counter_value("pim_ops")), atomics, 1.0);
+    EXPECT_EQ(engine.stats().counter_value("host_atomics"), 0u);
+  }
+  {
+    GpuConfig cfg;
+    core::NonOffloadingController ctrl;  // pim_fraction == 0: all host RMW
+    ExecutionEngine engine{cfg, {simple_launch(1e7, 0, atomics, 64)}, ctrl};
+    run(engine);
+    EXPECT_NEAR(static_cast<double>(engine.stats().counter_value("host_atomics")), atomics,
+                1.0);
+    EXPECT_EQ(engine.stats().counter_value("pim_ops"), 0u);
+  }
+}
+
 TEST(EngineTest, RestartReplaysFromTheTop) {
   GpuConfig cfg;
   core::NaiveController ctrl;

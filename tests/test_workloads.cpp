@@ -19,16 +19,7 @@ class WorkloadFixture : public ::testing::Test {
     static const CsrGraph g = make_ldbc_like(12, 5);
     return g;
   }
-  static VertexId hub() {
-    static const VertexId h = [] {
-      VertexId best = 0;
-      for (VertexId v = 0; v < graph().num_vertices(); ++v) {
-        if (graph().out_degree(v) > graph().out_degree(best)) best = v;
-      }
-      return best;
-    }();
-    return h;
-  }
+  static VertexId hub() { return graph().max_degree_vertex(); }
 };
 
 // --- Functional correctness ------------------------------------------------

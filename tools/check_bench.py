@@ -37,6 +37,31 @@ SCHEMAS = {
         "steady.cold_ms": NUM,
         "steady.warm_ms": NUM,
     },
+    "coolpim-bench-graph/1": {
+        "quick": bool,
+        "scale": NUM,
+        "jobs": NUM,
+        "construction.workloads": NUM,
+        "construction.serial_ms": NUM,
+        "construction.parallel_ms": NUM,
+        "construction.speedup": NUM,
+        "construction.profiles_bit_identical": bool,
+        "cache.cold_ms": NUM,
+        "cache.warm_ms": NUM,
+        "cache.warm_speedup_vs_serial": NUM,
+        "cache.cold_hits": NUM,
+        "cache.cold_misses": NUM,
+        "cache.cold_computed": NUM,
+        "cache.cold_stored": bool,
+        "cache.warm_hits": NUM,
+        "cache.warm_misses": NUM,
+        "cache.warm_computed": NUM,
+        "cache.warm_all_hits": bool,
+        "csr.serial_ms": NUM,
+        "csr.parallel_ms": NUM,
+        "csr.speedup": NUM,
+        "csr.bit_identical": bool,
+    },
     "coolpim-bench-sim/1": {
         "quick": bool,
         "queue.events": NUM,
