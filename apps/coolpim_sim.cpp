@@ -1,23 +1,19 @@
 // coolpim_sim -- command-line front end for the full-system simulator.
 //
-// Usage:
-//   coolpim_sim [options]
+// Shared run knobs (scale, jobs, seed, observability sinks, the --fault-*
+// fault environment) resolve through sys::RunConfig with precedence
+// CLI > COOLPIM_* environment > default; `coolpim_sim --help` lists them.
+// App-specific options:
 //     --workload NAME     dc|kcore|pagerank|bfs-ta|bfs-dwc|bfs-ttc|bfs-twc|
 //                         sssp-dtc|sssp-dwc|sssp-twc|cc|tc|all   (default dc)
 //     --scenario NAME     baseline|naive|coolpim-sw|coolpim-hw|ideal|all
-//                         (default all)
-//     --scale N           RMAT scale, 2^N vertices      (default 18)
 //     --cooling NAME      passive|low-end|commodity|high-end (default commodity)
 //     --cf N              control factor (blocks for SW, warps for HW)
 //     --target RATE       PIM-rate budget in op/ns      (default 1.3)
 //     --pei               PEI-style coherent offloading instead of GraphPIM
 //     --timeline          print the PIM-rate/temperature time series
-//     --seed N            graph seed                    (default 1)
-//     --jobs N            parallel simulation jobs (default COOLPIM_JOBS or
-//                         all cores; results are identical at any job count)
-//     --trace FILE        write a Chrome trace_event JSON of every run
-//                         (chrome://tracing / Perfetto; docs/OBSERVABILITY.md)
-//     --counters FILE     write per-epoch counter snapshots as long-form CSV
+//     --seed N            graph seed (alias for --graph-seed)
+//     --csv FILE          write the summary table as CSV
 //
 // Tracing is strictly read-only: summary/timeline/CSV output is byte-for-byte
 // identical with or without --trace/--counters, at any --jobs value.
@@ -27,6 +23,7 @@
 #include <iterator>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <fstream>
@@ -35,6 +32,7 @@
 #include "obs/observer.hpp"
 #include "runner/experiment.hpp"
 #include "sys/report.hpp"
+#include "sys/run_config.hpp"
 #include "sys/system.hpp"
 
 using namespace coolpim;
@@ -42,30 +40,28 @@ using namespace coolpim;
 namespace {
 
 struct CliOptions {
+  /// Shared knobs (scale, jobs, graph seed, trace/counters, fault layer).
+  sys::RunConfig rc;
   std::vector<std::string> workloads{"dc"};
   std::vector<sys::Scenario> scenarios{std::begin(sys::kAllScenarios),
                                        std::end(sys::kAllScenarios)};
-  unsigned scale{18};
-  unsigned jobs{0};  // 0 = COOLPIM_JOBS env or hardware concurrency
-  std::uint64_t seed{1};
   power::CoolingType cooling{power::CoolingType::kCommodityServer};
   std::optional<std::uint32_t> control_factor;
   double target{1.3};
   bool pei{false};
   bool timeline{false};
   std::string csv_path;
-  std::string trace_path;
-  std::string counters_path;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
       "usage: coolpim_sim [--workload NAME|all] [--scenario NAME|all|bw-throttle]\n"
-      "                   [--scale N] [--jobs N]\n"
       "                   [--cooling passive|low-end|commodity|high-end] [--cf N]\n"
       "                   [--target OP_PER_NS] [--pei] [--timeline] [--seed N]\n"
-      "                   [--csv FILE] [--trace FILE] [--counters FILE]\n";
+      "                   [--csv FILE] [shared run flags]\n"
+      "shared run flags (CLI > COOLPIM_* env > default):\n"
+      << sys::RunConfig::flags_help();
   std::exit(msg ? 2 : 0);
 }
 
@@ -88,8 +84,9 @@ power::CoolingType parse_cooling(const std::string& s) {
   usage(("unknown cooling: " + s).c_str());
 }
 
-CliOptions parse(int argc, char** argv) {
+CliOptions parse(int argc, char** argv, sys::RunConfig rc) {
   CliOptions opt;
+  opt.rc = std::move(rc);
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage("missing option value");
     return argv[++i];
@@ -106,15 +103,9 @@ CliOptions parse(int argc, char** argv) {
       }
     } else if (arg == "--scenario") {
       opt.scenarios = parse_scenarios(need_value(i));
-    } else if (arg == "--scale") {
-      opt.scale = static_cast<unsigned>(std::atoi(need_value(i).c_str()));
-      if (opt.scale < 8 || opt.scale > 24) usage("scale must be in [8, 24]");
     } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(need_value(i).c_str()));
-    } else if (arg == "--jobs") {
-      const int v = std::atoi(need_value(i).c_str());
-      if (v < 1) usage("jobs must be at least 1");
-      opt.jobs = static_cast<unsigned>(v);
+      // Historical alias for --graph-seed.
+      opt.rc.graph_seed = static_cast<std::uint64_t>(std::atoll(need_value(i).c_str()));
     } else if (arg == "--cooling") {
       opt.cooling = parse_cooling(need_value(i));
     } else if (arg == "--cf") {
@@ -128,10 +119,6 @@ CliOptions parse(int argc, char** argv) {
       opt.timeline = true;
     } else if (arg == "--csv") {
       opt.csv_path = need_value(i);
-    } else if (arg == "--trace") {
-      opt.trace_path = need_value(i);
-    } else if (arg == "--counters") {
-      opt.counters_path = need_value(i);
     } else {
       usage(("unknown option: " + arg).c_str());
     }
@@ -160,16 +147,24 @@ void print_timeline(const sys::RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions opt = parse(argc, argv);
+  // Shared knobs first: --scale/--jobs/--trace/... are stripped from argv
+  // before the app-specific parse sees the remainder.
+  sys::RunConfig rc;
+  try {
+    rc = sys::RunConfig::resolve(&argc, argv);
+  } catch (const ConfigError& e) {
+    usage(e.what());
+  }
+  const CliOptions opt = parse(argc, argv, std::move(rc));
 
   // cc/tc need the extended registry.
   bool extended = false;
   for (const auto& w : opt.workloads) extended |= (w == "cc" || w == "tc");
-  std::cout << "Building LDBC-like graph (scale " << opt.scale << ", seed " << opt.seed
-            << ") and workload profiles...\n";
-  sys::WorkloadSet::BuildOptions build_opt;
-  build_opt.jobs = opt.jobs;  // same knob as the sweep; identical at any value
-  const sys::WorkloadSet set{opt.scale, opt.seed, extended, build_opt};
+  std::cout << "Building LDBC-like graph (scale " << opt.rc.scale << ", seed "
+            << opt.rc.graph_seed << ") and workload profiles...\n";
+  // Same jobs knob as the sweep; results are identical at any value.
+  const sys::WorkloadSet set{opt.rc.scale, opt.rc.graph_seed, extended,
+                             opt.rc.build_options()};
   if (set.build_stats().cache_hits > 0) {
     std::cout << "Profiles served from COOLPIM_PROFILE_CACHE ("
               << set.build_stats().cache_hits << " workloads).\n";
@@ -185,6 +180,7 @@ int main(int argc, char** argv) {
       e.config.scenario = scenario;
       e.config.cooling = opt.cooling;
       e.config.target_rate_op_per_ns = opt.target;
+      opt.rc.apply_to(e.config);
       if (opt.control_factor) {
         e.config.sw_control_factor = *opt.control_factor;
         e.config.hw_control_factor = *opt.control_factor;
@@ -194,10 +190,10 @@ int main(int argc, char** argv) {
     }
   }
   runner::RunOptions run_opt;
-  run_opt.jobs = opt.jobs;
+  run_opt.jobs = opt.rc.jobs;
   std::optional<obs::SweepObserver> observer;
-  if (!opt.trace_path.empty() || !opt.counters_path.empty()) {
-    observer.emplace(!opt.trace_path.empty(), !opt.counters_path.empty());
+  if (!opt.rc.trace_path.empty() || !opt.rc.counters_path.empty()) {
+    observer.emplace(!opt.rc.trace_path.empty(), !opt.rc.counters_path.empty());
     run_opt.obs = &*observer;
   }
   const std::vector<sys::RunResult> runs = runner::run_sweep(set, experiments, run_opt);
@@ -227,24 +223,24 @@ int main(int argc, char** argv) {
     sys::write_summary_csv(out, runs);
     std::cout << "Summary CSV written to " << opt.csv_path << "\n";
   }
-  if (!opt.trace_path.empty()) {
-    std::ofstream out{opt.trace_path};
+  if (!opt.rc.trace_path.empty()) {
+    std::ofstream out{opt.rc.trace_path};
     if (!out) {
-      std::cerr << "error: cannot open " << opt.trace_path << " for writing\n";
+      std::cerr << "error: cannot open " << opt.rc.trace_path << " for writing\n";
       return 1;
     }
     observer->write_trace(out);
-    std::cout << "Trace written to " << opt.trace_path
+    std::cout << "Trace written to " << opt.rc.trace_path
               << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
   }
-  if (!opt.counters_path.empty()) {
-    std::ofstream out{opt.counters_path};
+  if (!opt.rc.counters_path.empty()) {
+    std::ofstream out{opt.rc.counters_path};
     if (!out) {
-      std::cerr << "error: cannot open " << opt.counters_path << " for writing\n";
+      std::cerr << "error: cannot open " << opt.rc.counters_path << " for writing\n";
       return 1;
     }
     observer->write_counters_csv(out);
-    std::cout << "Counter CSV written to " << opt.counters_path << "\n";
+    std::cout << "Counter CSV written to " << opt.rc.counters_path << "\n";
   }
   return 0;
 }

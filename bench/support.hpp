@@ -8,11 +8,19 @@
 #include <string>
 #include <vector>
 
+#include "sys/run_config.hpp"
 #include "sys/system.hpp"
 
 namespace coolpim::bench {
 
-/// Graph scale used by the full-system benches; override with COOLPIM_SCALE.
+/// The process-wide run configuration: COOLPIM_* environment at first use,
+/// with any --flags overlaid by init_observability().  Every bench knob
+/// (scale, jobs, observability sinks, fault environment) resolves through
+/// this one sys::RunConfig.
+[[nodiscard]] const sys::RunConfig& run_config();
+
+/// Graph scale used by the full-system benches (run_config().scale, clamped
+/// to the bench-supported [8, 24] range; override with COOLPIM_SCALE).
 [[nodiscard]] unsigned bench_scale();
 
 /// Lazily-built workload set shared within one bench process.

@@ -14,13 +14,19 @@
 #include "graph/generator.hpp"
 #include "graph/reference.hpp"
 #include "graph/workloads.hpp"
+#include "sys/run_config.hpp"
 
 using namespace coolpim;
 using namespace coolpim::graph;
 
 int main(int argc, char** argv) {
-  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
-  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
+  // COOLPIM_* environment over the example's defaults; positional args win.
+  sys::RunConfig rc;
+  rc.scale = 16;
+  rc = sys::RunConfig::from_env(rc);
+  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : rc.scale;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : rc.graph_seed;
 
   const CsrGraph g = make_ldbc_like(scale, seed);
   const VertexId hub = g.max_degree_vertex();

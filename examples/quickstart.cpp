@@ -9,12 +9,18 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "sys/run_config.hpp"
 #include "sys/system.hpp"
 
 using namespace coolpim;
 
 int main(int argc, char** argv) {
-  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 17;
+  // COOLPIM_* environment over the example's defaults; the positional
+  // argument still wins over both.
+  sys::RunConfig rc;
+  rc.scale = 17;
+  rc = sys::RunConfig::from_env(rc);
+  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : rc.scale;
 
   std::cout << "CoolPIM quickstart: PageRank on a 2^" << scale
             << "-vertex LDBC-like graph, GPU + HMC 2.0, commodity-server cooling\n";
@@ -34,6 +40,7 @@ int main(int argc, char** argv) {
         sys::Scenario::kCoolPimSw, sys::Scenario::kCoolPimHw}) {
     sys::SystemConfig cfg;
     cfg.scenario = scenario;
+    rc.apply_to(cfg);
     sys::System system{cfg};
     const auto r = system.run(pagerank);
     if (scenario == sys::Scenario::kNonOffloading) baseline_ms = r.exec_time.as_ms();

@@ -12,6 +12,7 @@
 
 #include "common/table.hpp"
 #include "runner/experiment.hpp"
+#include "sys/run_config.hpp"
 #include "sys/system.hpp"
 
 using namespace coolpim;
@@ -33,11 +34,15 @@ runner::Experiment transient(const std::string& workload, sys::Scenario scenario
 }  // namespace
 
 int main(int argc, char** argv) {
+  // COOLPIM_* environment over the example's defaults; positional args win.
+  sys::RunConfig rc;
+  rc.scale = 17;
+  rc = sys::RunConfig::from_env(rc);
   const std::string workload = argc > 1 ? argv[1] : "pagerank";
-  const unsigned scale = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 17;
+  const unsigned scale = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : rc.scale;
 
   std::cout << "Throttle tuning on '" << workload << "' (scale " << scale << ")\n";
-  const sys::WorkloadSet set{scale};
+  const sys::WorkloadSet set{scale, rc.graph_seed, false, rc.build_options()};
 
   // Transient timeline: naive vs both CoolPIM mechanisms, run concurrently.
   const auto transients = runner::run_sweep(

@@ -10,8 +10,11 @@
 // trimming PIM first buys more cooling per lost byte.
 #pragma once
 
+#include <algorithm>
+
 #include "common/units.hpp"
 #include "core/controller.hpp"
+#include "obs/names.hpp"
 
 namespace coolpim::core {
 
@@ -30,16 +33,31 @@ class BwThrottleController final : public ThrottleController {
  public:
   explicit BwThrottleController(const BwThrottleConfig& cfg = {}) : cfg_{cfg} {}
 
-  void on_thermal_warning(Time now) override {
+  using ThrottleController::on_thermal_warning;
+  void on_thermal_warning(Time now, Time raised_at) override {
     ++warnings_;
-    if (accepted_once_ && now - last_accepted_ < cfg_.settle_window) return;
+    // Coalesce on the raise time so delayed duplicates stay one step.
+    if (accepted_once_ && raised_at - last_accepted_ < cfg_.settle_window) return;
     const double before = admit_;
     admit_ = std::max(cfg_.floor, admit_ * (1.0 - cfg_.reduction_step));
+    last_accepted_ = raised_at;
+    accepted_once_ = true;
+    ++reductions_;
+    if (trace_.enabled()) {
+      trace_.instant(now, obs::names::kCatCore, "bw_admit_reduce", {{"from", before}, {"to", admit_}});
+    }
+  }
+
+  void on_watchdog_engage(Time now) override {
+    // Fail-safe degrade: halve the admitted demand, bypassing the settle
+    // window (the warning channel is silent, so nothing to over-count).
+    const double before = admit_;
+    admit_ = std::max(cfg_.floor, admit_ * 0.5);
     last_accepted_ = now;
     accepted_once_ = true;
     ++reductions_;
     if (trace_.enabled()) {
-      trace_.instant(now, "core", "bw_admit_reduce", {{"from", before}, {"to", admit_}});
+      trace_.instant(now, obs::names::kCatCore, "watchdog_bw_reduce", {{"from", before}, {"to", admit_}});
     }
   }
 

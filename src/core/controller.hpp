@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "common/units.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace coolpim::core {
@@ -31,7 +32,24 @@ class ThrottleController {
 
   /// Thermal warning received by the host at `now` (already includes the
   /// thermal sensing delay).  Implementations apply their own T_throttle.
-  virtual void on_thermal_warning(Time now) = 0;
+  ///
+  /// `raised_at` is when the device raised the warning; on an undisturbed
+  /// link it equals `now`, but link retries and delivery delays (the fault
+  /// layer) can push `now` past the epoch that triggered the warning -- even
+  /// out of order.  Implementations must coalesce on the *raise* time, so a
+  /// late duplicate of an already-handled excursion is stale and causes no
+  /// extra reduction step (see DESIGN.md section 10).
+  virtual void on_thermal_warning(Time now, Time raised_at) = 0;
+
+  /// Undisturbed-link convenience: the warning arrives the moment it was
+  /// raised (the fault-free system path and most tests).
+  void on_thermal_warning(Time now) { on_thermal_warning(now, now); }
+
+  /// Fail-safe degradation (fault::Watchdog): warning feedback has gone
+  /// silent while the device runs hot, so take one conservative throttle
+  /// step *now*, bypassing warning coalescing.  Default: treat it as a
+  /// fresh warning.  Never called on the fault-free path.
+  virtual void on_watchdog_engage(Time now) { on_thermal_warning(now, now); }
 
   /// Block launch: may the block run the PIM-enabled kernel?  The runtime
   /// must later call release_block() for every true return.
@@ -63,9 +81,10 @@ class ThrottleController {
 /// configuration (PEI-style, no source control).
 class NaiveController final : public ThrottleController {
  public:
-  void on_thermal_warning(Time now) override {
+  using ThrottleController::on_thermal_warning;
+  void on_thermal_warning(Time now, Time /*raised_at*/) override {
     ++warnings_;
-    trace_.instant(now, "core", "warning_ignored");
+    trace_.instant(now, obs::names::kCatCore, "warning_ignored");
   }
   bool acquire_block(Time) override { return true; }
   void release_block(Time) override {}
@@ -81,7 +100,8 @@ class NaiveController final : public ThrottleController {
 /// Never offloads: the non-offloading baseline.
 class NonOffloadingController final : public ThrottleController {
  public:
-  void on_thermal_warning(Time) override {}
+  using ThrottleController::on_thermal_warning;
+  void on_thermal_warning(Time, Time) override {}
   bool acquire_block(Time) override { return false; }
   void release_block(Time) override {}
   [[nodiscard]] double pim_warp_fraction(Time) const override { return 0.0; }

@@ -1,11 +1,16 @@
 #include "core/hw_dynt.hpp"
+#include "obs/names.hpp"
+
+#include <algorithm>
 
 namespace coolpim::core {
 
-void HwDynT::on_thermal_warning(Time now) {
+void HwDynT::on_thermal_warning(Time now, Time raised_at) {
   ++warnings_;
-  // Delayed control updates: accept at most one reduction per settle window.
-  if (accepted_once_ && now - last_accepted_ < cfg_.settle_window) return;
+  // Delayed control updates: accept at most one reduction per settle window,
+  // keyed on the time the warning was *raised* so delayed or out-of-order
+  // duplicates of an already-handled excursion stay coalesced.
+  if (accepted_once_ && raised_at - last_accepted_ < cfg_.settle_window) return;
 
   previous_warps_ = enabled_warps_;
   enabled_warps_ = enabled_warps_ > cfg_.control_factor
@@ -13,13 +18,31 @@ void HwDynT::on_thermal_warning(Time now) {
                        : 0;
   has_pending_ = true;
   effective_at_ = now + cfg_.throttle_delay;
-  last_accepted_ = now;
+  last_accepted_ = raised_at;
   accepted_once_ = true;
   ++reductions_;
   if (trace_.enabled()) {
     // PCU update latency as a span, the warp-disable step as an instant.
-    trace_.complete(now, cfg_.throttle_delay, "core", "hw_dynt_pcu_update");
-    trace_.instant(now, "core", "warp_disable",
+    trace_.complete(now, cfg_.throttle_delay, obs::names::kCatCore, "hw_dynt_pcu_update");
+    trace_.instant(now, obs::names::kCatCore, "warp_disable",
+                   {{"from", previous_warps_}, {"to", enabled_warps_}});
+  }
+}
+
+void HwDynT::on_watchdog_engage(Time now) {
+  // Fail-safe degrade with the warning channel silent: disable half the
+  // PIM-enabled warps (at least one control step), bypassing the settle
+  // window -- there is no feedback to over-count.
+  previous_warps_ = enabled_warps_;
+  const std::uint32_t step = std::max(cfg_.control_factor, enabled_warps_ / 2);
+  enabled_warps_ = enabled_warps_ > step ? enabled_warps_ - step : 0;
+  has_pending_ = true;
+  effective_at_ = now + cfg_.throttle_delay;
+  last_accepted_ = now;
+  accepted_once_ = true;
+  ++reductions_;
+  if (trace_.enabled()) {
+    trace_.instant(now, obs::names::kCatCore, "watchdog_warp_disable",
                    {{"from", previous_warps_}, {"to", enabled_warps_}});
   }
 }

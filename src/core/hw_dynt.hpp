@@ -27,7 +27,9 @@ class HwDynT final : public ThrottleController {
   explicit HwDynT(const HwDynTConfig& cfg)
       : cfg_{cfg}, enabled_warps_{cfg.max_warps_per_sm} {}
 
-  void on_thermal_warning(Time now) override;
+  using ThrottleController::on_thermal_warning;
+  void on_thermal_warning(Time now, Time raised_at) override;
+  void on_watchdog_engage(Time now) override;
   bool acquire_block(Time) override { return true; }  // block granularity unused
   void release_block(Time) override {}
   [[nodiscard]] double pim_warp_fraction(Time now) const override;

@@ -1,4 +1,7 @@
 #include "core/sw_dynt.hpp"
+#include "obs/names.hpp"
+
+#include <algorithm>
 
 namespace coolpim::core {
 
@@ -7,20 +10,38 @@ SwDynT::SwDynT(const SwDynTConfig& cfg)
       initial_size_{cfg.use_static_init ? initial_ptp_size(cfg.eq1) : cfg.eq1.max_blocks},
       pool_{initial_size_} {}
 
-void SwDynT::on_thermal_warning(Time now) {
+void SwDynT::on_thermal_warning(Time now, Time raised_at) {
   ++warnings_;
-  // Coalesce warnings within the thermal response window.
-  if (updated_once_ && now - last_update_ < cfg_.update_interval) return;
+  // Coalesce warnings within the thermal response window, keyed on the time
+  // the device *raised* the warning: a delayed or out-of-order duplicate of
+  // an already-handled excursion is stale and must not shrink the pool again.
+  if (updated_once_ && raised_at - last_update_ < cfg_.update_interval) return;
   // The interrupt handler runs after T_throttle; model by making the shrink
   // visible only from `now + throttle_delay` (blocks launched before that
   // still see the old pool).
   if (has_pending_) return;
   has_pending_ = true;
   pending_until_ = now + cfg_.throttle_delay;
-  last_update_ = now;
+  last_update_ = raised_at;
   updated_once_ = true;
   // The accepted warning's interrupt-to-effect latency as a span.
-  trace_.complete(now, cfg_.throttle_delay, "core", "sw_dynt_interrupt");
+  trace_.complete(now, cfg_.throttle_delay, obs::names::kCatCore, "sw_dynt_interrupt");
+}
+
+void SwDynT::on_watchdog_engage(Time now) {
+  // Fail-safe degrade with the warning channel silent: halve the PTP pool
+  // immediately (at least one control step).  Halving converges in a few
+  // steps even when every warning is lost.
+  if (has_pending_ && now >= pending_until_) apply_pending_shrink(now);
+  const std::uint32_t before = pool_.size();
+  const std::uint32_t step = std::max(cfg_.control_factor, before / 2);
+  pool_.shrink(step);
+  last_update_ = now;
+  updated_once_ = true;
+  if (trace_.enabled()) {
+    trace_.instant(now, obs::names::kCatCore, "watchdog_ptp_shrink",
+                   {{"from", before}, {"to", pool_.size()}});
+  }
 }
 
 void SwDynT::apply_pending_shrink(Time now) {
@@ -28,7 +49,7 @@ void SwDynT::apply_pending_shrink(Time now) {
   pool_.shrink(cfg_.control_factor);
   has_pending_ = false;
   if (trace_.enabled()) {
-    trace_.instant(now, "core", "ptp_shrink",
+    trace_.instant(now, obs::names::kCatCore, "ptp_shrink",
                    {{"from", before}, {"to", pool_.size()}, {"issued", pool_.issued()}});
   }
 }

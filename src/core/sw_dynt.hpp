@@ -29,7 +29,9 @@ class SwDynT final : public ThrottleController {
  public:
   explicit SwDynT(const SwDynTConfig& cfg);
 
-  void on_thermal_warning(Time now) override;
+  using ThrottleController::on_thermal_warning;
+  void on_thermal_warning(Time now, Time raised_at) override;
+  void on_watchdog_engage(Time now) override;
   bool acquire_block(Time now) override;
   void release_block(Time now) override;
   [[nodiscard]] double pim_warp_fraction(Time) const override { return 1.0; }

@@ -1,0 +1,74 @@
+#include "fault/watchdog.hpp"
+
+#include <cmath>
+
+#include "obs/names.hpp"
+
+namespace coolpim::fault {
+
+void Watchdog::on_delivery(Time now) {
+  last_delivery_ = now;
+  saw_delivery_ = true;
+  if (engaged_) disengage(now, "feedback_restored");
+}
+
+bool Watchdog::tick(Time now, Celsius seen) {
+  if (!cfg_.enabled) return false;
+
+  // Low-pass the reading: the per-epoch sensed temperature swings several
+  // degrees with the engine's serve bursts, and a single cool sample must
+  // not disarm the watchdog (the silence window would never complete).
+  double level = seen.value();
+  if (have_level_ && cfg_.smoothing > Time::zero()) {
+    const double alpha =
+        1.0 - std::exp(-(now - last_tick_).as_sec() / cfg_.smoothing.as_sec());
+    level = level_ + alpha * (seen.value() - level_);
+  }
+  // Non-falling trend, tolerant of quantized sensors reporting flat steps.
+  const bool rising = !have_level_ || level >= level_ - 1e-9;
+  level_ = level;
+  have_level_ = true;
+  last_tick_ = now;
+
+  const bool hot = level > threshold_.value() - cfg_.arm_margin_c;
+  if (!hot) {
+    if (engaged_) disengage(now, "cooled");
+    armed_ = false;
+    return false;
+  }
+  if (!armed_) {
+    armed_ = true;
+    armed_since_ = now;
+  }
+  if (!rising && level <= threshold_.value()) return false;
+
+  // Silence clock: time since the last sign of life on the warning channel,
+  // never earlier than when we armed (a cold start is not silence).
+  Time quiet_since = armed_since_;
+  if (saw_delivery_ && last_delivery_ > quiet_since) quiet_since = last_delivery_;
+  if (engaged_ && last_engage_ > quiet_since) quiet_since = last_engage_;
+
+  const Time window = engaged_ ? cfg_.min_interval : cfg_.window;
+  if (now - quiet_since < window) return false;
+
+  engaged_ = true;
+  last_engage_ = now;
+  ++engagements_;
+  if (counters_ != nullptr) counters_->counter(obs::names::kFaultWatchdogEngagements).add();
+  trace_.instant(now, obs::names::kCatFault, "watchdog_engage",
+                 {{"seen_c", seen.value()},
+                  {"smoothed_c", level},
+                  {"quiet_us", (now - quiet_since).as_us()}});
+  return true;
+}
+
+void Watchdog::disengage(Time now, const char* why) {
+  engaged_ = false;
+  ++disengagements_;
+  if (counters_ != nullptr) {
+    counters_->counter(obs::names::kFaultWatchdogDisengagements).add();
+  }
+  trace_.instant(now, obs::names::kCatFault, "watchdog_disengage", {{"reason", why}});
+}
+
+}  // namespace coolpim::fault

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/names.hpp"
+
 namespace coolpim::gpu {
 
 std::vector<LaunchSpec> build_launches(const graph::WorkloadProfile& profile,
@@ -43,7 +45,7 @@ void ExecutionEngine::begin_launch(Time now) {
   if (launch_idx_ < launches_.size()) {
     refill_residency(now);
     stats_.counter("kernel_launches").add();
-    if (counters_) counters_->counter("gpu/kernel_launches").add();
+    if (counters_) counters_->counter(obs::names::kGpuKernelLaunches).add();
   }
 }
 
@@ -69,7 +71,7 @@ void ExecutionEngine::retire_blocks(Time now, double count) {
       controller_.release_block(now);
     }
     stats_.counter("blocks_retired").add();
-    if (counters_) counters_->counter("gpu/blocks_retired").add();
+    if (counters_) counters_->counter(obs::names::kGpuBlocksRetired).add();
   }
   refill_residency(now);
 }
@@ -174,16 +176,16 @@ Time ExecutionEngine::commit(Time now, Time window, const hmc::EpochService& ser
   stats_.counter("host_atomics").add(host_inc);
   stats_.summary("pim_fraction").record(pim_fraction(now));
   if (counters_) {
-    counters_->counter("gpu/pim_ops").add(pim_inc);
-    counters_->counter("gpu/host_atomics").add(host_inc);
-    counters_->gauge("gpu/pim_fraction").set(pim_fraction(now));
+    counters_->counter(obs::names::kGpuPimOps).add(pim_inc);
+    counters_->counter(obs::names::kGpuHostAtomics).add(host_inc);
+    counters_->gauge(obs::names::kGpuPimFraction).set(pim_fraction(now));
   }
 
   retire_blocks(now, advance * static_cast<double>(launch.blocks));
 
   if (prog_.fraction_done >= 1.0 - 1e-9) {
     if (trace_.enabled()) {
-      trace_.complete(launch_began_, now - launch_began_, "gpu", "kernel_launch",
+      trace_.complete(launch_began_, now - launch_began_, obs::names::kCatGpu, "kernel_launch",
                       {{"launch", static_cast<std::uint64_t>(launch_idx_)},
                        {"blocks", launch.blocks},
                        {"warps", launch.warps}});

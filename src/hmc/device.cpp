@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/names.hpp"
+
 namespace coolpim::hmc {
 
 Device::Device(sim::Simulation& sim, HmcConfig cfg, ThermalPolicy policy)
@@ -57,10 +59,10 @@ void Device::submit(const Request& req, ResponseCallback on_response) {
   stats_.counter("requests").add();
   stats_.summary("latency_ns").record((resp_done - now).as_ns());
   if (counters_ != nullptr) {
-    counters_->counter("hmc/requests").add();
-    counters_->counter("hmc/req_flits").add(cost.request);
-    counters_->counter("hmc/resp_flits").add(cost.response);
-    counters_->counter("hmc/payload_bytes").add(payload_bytes(req.type));
+    counters_->counter(obs::names::kHmcRequests).add();
+    counters_->counter(obs::names::kHmcReqFlits).add(cost.request);
+    counters_->counter(obs::names::kHmcRespFlits).add(cost.response);
+    counters_->counter(obs::names::kHmcPayloadBytes).add(payload_bytes(req.type));
   }
 
   Response resp{};
@@ -68,19 +70,23 @@ void Device::submit(const Request& req, ResponseCallback on_response) {
   resp.errstat = warning_active() ? ErrStat::kThermalWarning : ErrStat::kOk;
   if (resp.errstat == ErrStat::kThermalWarning) {
     stats_.counter("thermal_warnings").add();
-    if (counters_ != nullptr) counters_->counter("hmc/thermal_warnings").add();
+    if (counters_ != nullptr) counters_->counter(obs::names::kHmcThermalWarnings).add();
   }
+  // The wire can corrupt or lose the response on its way back; the device's
+  // own state (vault timing, stats) is unaffected -- only the host-visible
+  // copy carries the outcome.
+  if (integrity_) resp.integrity = integrity_(resp_done, resp);
 
   if (trace_.enabled()) {
-    trace_.complete(now, resp_done - now, "hmc", "request",
+    trace_.complete(now, resp_done - now, obs::names::kCatHmc, "request",
                     {{"type", static_cast<int>(req.type)},
                      {"vault", static_cast<std::uint64_t>(loc.vault)},
                      {"bank", static_cast<std::uint64_t>(loc.bank)},
                      {"req_flits", cost.request},
                      {"resp_flits", cost.response}});
-    trace_.counter(now, "hmc", "link_flits", static_cast<double>(total_flits_));
+    trace_.counter(now, obs::names::kCatHmc, "link_flits", static_cast<double>(total_flits_));
     if (resp.errstat == ErrStat::kThermalWarning) {
-      trace_.instant(resp_done, "hmc", "errstat_warning",
+      trace_.instant(resp_done, obs::names::kCatHmc, "errstat_warning",
                      {{"dram_c", dram_temp_.value()}, {"tag", req.tag}});
     }
   }

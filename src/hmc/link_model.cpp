@@ -13,6 +13,23 @@ constexpr double flits_per_pim = flit_cost(TransactionType::kPimNoReturn).total(
 constexpr double flits_per_pim_ret = flit_cost(TransactionType::kPimWithReturn).total();  // 4
 }  // namespace
 
+Time LinkRetryPolicy::retry_delay(std::uint32_t attempt) const {
+  COOLPIM_ASSERT(attempt >= 1);
+  double delay_ps = static_cast<double>(backoff_base.as_ps());
+  for (std::uint32_t i = 1; i < attempt; ++i) {
+    delay_ps *= backoff_factor;
+    if (delay_ps >= static_cast<double>(backoff_cap.as_ps())) break;
+  }
+  const double capped = std::min(delay_ps, static_cast<double>(backoff_cap.as_ps()));
+  return Time::ps(static_cast<std::int64_t>(capped));
+}
+
+Time LinkRetryPolicy::total_delay(std::uint32_t attempts) const {
+  Time total = Time::zero();
+  for (std::uint32_t a = 1; a <= attempts; ++a) total += retry_delay(a);
+  return total;
+}
+
 double LinkModel::flit_demand(const TransactionMix& mix) const {
   COOLPIM_ASSERT(mix.reads_per_sec >= 0 && mix.writes_per_sec >= 0 && mix.pim_per_sec >= 0);
   COOLPIM_ASSERT(mix.pim_return_fraction >= 0.0 && mix.pim_return_fraction <= 1.0);

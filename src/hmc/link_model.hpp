@@ -13,6 +13,28 @@
 
 namespace coolpim::hmc {
 
+/// Link-layer retransmission policy (HMC retry-pointer idiom).
+///
+/// When the receiving link master detects a CRC mismatch it discards the
+/// packet and requests a replay from the transmitter's retry buffer.  Each
+/// successive replay of the same packet backs off exponentially -- the link
+/// re-trains between attempts -- up to a cap, and after `max_retries` failed
+/// replays the packet is abandoned (the transaction layer sees a loss).
+struct LinkRetryPolicy {
+  std::uint32_t max_retries{4};
+  Time backoff_base{Time::us(1.0)};   // delay before the first replay
+  double backoff_factor{2.0};         // growth per successive replay
+  Time backoff_cap{Time::us(16.0)};   // ceiling on any single replay delay
+  bool operator==(const LinkRetryPolicy&) const = default;
+
+  /// Delay before replay attempt `attempt` (1-based): capped exponential.
+  [[nodiscard]] Time retry_delay(std::uint32_t attempt) const;
+
+  /// Total added latency of a packet that succeeded on replay `attempts`
+  /// (the sum of every backoff it waited through).
+  [[nodiscard]] Time total_delay(std::uint32_t attempts) const;
+};
+
 /// A steady transaction mix offered to the links.
 struct TransactionMix {
   double reads_per_sec{0.0};        // 64-byte reads

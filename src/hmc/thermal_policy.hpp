@@ -10,6 +10,7 @@
 // derates.
 #pragma once
 
+#include <cmath>
 #include <string_view>
 
 #include "common/units.hpp"
@@ -66,6 +67,15 @@ struct ThermalPolicy {
     return 1.0;
   }
 };
+
+/// Host-visible sensor conditioning: real thermal registers report in coarse
+/// steps (the HMC register is 1 C-granular), so a reading quantizes down to a
+/// multiple of `step_c`.  `step_c <= 0` means an exact (unquantized) sensor.
+/// Used by the fault layer; the fault-free path never calls this.
+[[nodiscard]] inline Celsius quantize_reading(Celsius reading, double step_c) {
+  if (step_c <= 0.0) return reading;
+  return Celsius{std::floor(reading.value() / step_c) * step_c};
+}
 
 [[nodiscard]] constexpr std::string_view to_string(ThermalPhase p) {
   switch (p) {

@@ -1,3 +1,4 @@
+#include "obs/names.hpp"
 #include "runner/experiment.hpp"
 
 #include <algorithm>
@@ -36,6 +37,20 @@ void hash_policy(HashStream& h, const hmc::ThermalPolicy& p) {
   h.add(p.warning_threshold.value());
   h.add(p.extended_service_scale).add(p.critical_service_scale);
   h.add(p.conservative_shutdown).add(p.conservative_shutdown_temp.value());
+}
+
+void hash_fault(HashStream& h, const fault::FaultConfig& f) {
+  h.add(f.warning_drop_rate).add(f.errstat_corrupt_rate).add(f.spurious_warning_rate);
+  h.add(f.warning_delay_max.as_ps());
+  h.add(f.sensor_noise_sigma_c).add(f.sensor_quantization_c);
+  h.add(f.sensor_stuck_rate).add(f.sensor_stuck_duration.as_ps());
+  h.add(f.link_outage_rate).add(f.link_outage_duration.as_ps());
+  h.add(f.retry.max_retries).add(f.retry.backoff_base.as_ps());
+  h.add(f.retry.backoff_factor).add(f.retry.backoff_cap.as_ps());
+  h.add(f.watchdog.enabled).add(f.watchdog.window.as_ps());
+  h.add(f.watchdog.arm_margin_c).add(f.watchdog.min_interval.as_ps());
+  h.add(f.watchdog.smoothing.as_ps());
+  h.add(f.force_enable);
 }
 
 void hash_energy(HashStream& h, const power::EnergyParams& e) {
@@ -102,7 +117,7 @@ sys::RunResult run_task(const sys::WorkloadSet& set, const Experiment& e, bool u
       span_end = std::max(span_end, ev.ts + ev.dur);
     }
     rec->obs.trace_buffer.complete(
-        Time::zero(), span_end, "runner", "task",
+        Time::zero(), span_end, obs::names::kCatRunner, "task",
         {{"workload", e.workload},
          {"scenario", result.scenario},
          {"key", hex64(key)},
@@ -133,6 +148,13 @@ std::uint64_t config_hash(const sys::SystemConfig& cfg) {
   h.add(cfg.target_rate_op_per_ns).add(cfg.eq1_margin_blocks);
   h.add(cfg.warm_start).add(cfg.start_temp_override).add(cfg.max_warmup_reps);
   h.add(cfg.warmup_tolerance_c).add(cfg.max_time.as_ps()).add(cfg.shutdown_recovery.as_ps());
+  // Fault environment: hashed only when enabled, so every pre-existing
+  // fault-free experiment keeps its key (and therefore its derived seed and
+  // golden results) byte-for-byte.
+  if (cfg.fault.enabled()) {
+    h.add(true);
+    hash_fault(h, cfg.fault);
+  }
   return h.digest();
 }
 

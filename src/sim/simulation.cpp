@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/names.hpp"
+
 namespace coolpim::sim {
 
 void Simulation::schedule_periodic(Time period, std::function<bool()> tick) {
@@ -37,13 +39,13 @@ Time Simulation::run_until(Time deadline) {
     now_ = t;
     ++events_processed_;
     if (trace_.enabled()) {
-      trace_.counter(now_, "sim", "queue_depth", static_cast<double>(queue_.size()));
-      obs::ScopedSpan span{trace_, now_, "sim", "dispatch"};
+      trace_.counter(now_, obs::names::kCatSim, "queue_depth", static_cast<double>(queue_.size()));
+      obs::ScopedSpan span{trace_, now_, obs::names::kCatSim, "dispatch"};
       action();
     } else {
       action();
     }
-    if (counters_) counters_->counter("sim/events_dispatched").add();
+    if (counters_) counters_->counter(obs::names::kSimEventsDispatched).add();
   }
   if (queue_.empty() && deadline != Time::max() && now_ < deadline) now_ = deadline;
   return now_;

@@ -10,6 +10,23 @@
 
 namespace coolpim::sys {
 
+/// Fault-layer accounting for one run.  All-zero (active == false) unless the
+/// run's FaultConfig was enabled; deliberately not part of the CSV report
+/// schema -- resilience experiments consume it through bench_resilience.
+struct FaultSummary {
+  bool active{false};
+  std::uint64_t warnings_offered{0};
+  std::uint64_t warnings_delivered{0};
+  std::uint64_t warnings_dropped{0};
+  std::uint64_t warnings_corrupted{0};
+  std::uint64_t retries{0};
+  std::uint64_t retry_giveups{0};
+  std::uint64_t spurious_warnings{0};
+  std::uint64_t link_outages{0};
+  std::uint64_t watchdog_engagements{0};
+  std::uint64_t watchdog_disengagements{0};
+};
+
 struct RunResult {
   std::string workload;
   std::string scenario;
@@ -33,6 +50,9 @@ struct RunResult {
   std::uint64_t thermal_warnings{0};
   bool shut_down{false};
   Time time_above_normal{Time::zero()};  // time spent derated (> 85 C)
+
+  // Fault injection / resilience (inactive on the fault-free path).
+  FaultSummary faults{};
 
   // Sampled traces (Fig. 14-style).
   TimeSeries pim_rate{"pim_rate_op_per_ns"};

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/bw_throttle.hpp"
 #include "core/hw_dynt.hpp"
 #include "core/sw_dynt.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/watchdog.hpp"
 #include "gpu/engine.hpp"
 #include "hmc/link_model.hpp"
 #include "hmc/packet.hpp"
 #include "hmc/throughput_model.hpp"
+#include "obs/names.hpp"
 #include "thermal/hmc_thermal.hpp"
 
 namespace coolpim::sys {
@@ -166,6 +170,21 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
 
   DelayedSensor sensor{cfg_.thermal_delay, therm.peak_dram()};
 
+  // Fault layer: instantiated only when the config enables it, so fault-free
+  // runs execute the exact pre-fault code path -- no extra RNG draws, no
+  // behavioural drift from the pre-fault-layer simulator (DESIGN.md sect 10).
+  const bool faulty = cfg_.fault.enabled() && !ideal;
+  std::optional<fault::FaultPlan> faults;
+  std::optional<fault::Watchdog> wdog;
+  if (faulty) {
+    faults.emplace(cfg_.fault, cfg_.run_seed);
+    faults->set_observer(tr, ctr);
+    if (cfg_.fault.watchdog.enabled) {
+      wdog.emplace(cfg_.fault.watchdog, cfg_.policy.warning_threshold);
+      wdog->set_observer(tr, ctr);
+    }
+  }
+
   RunResult result;
   result.workload = workload.name;
   result.scenario = std::string(to_string(cfg_.scenario));
@@ -183,7 +202,7 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
   auto run_pass = [&](Time epoch, bool measure) -> PassOutcome {
     engine.restart();
     const Time pass_start = now;
-    obs::ScopedSpan pass_span{tr, now, "sim", measure ? "measured_pass" : "warmup_pass",
+    obs::ScopedSpan pass_span{tr, now, obs::names::kCatSim, measure ? "measured_pass" : "warmup_pass",
                               {{"epoch_us", epoch.as_us()}}};
     Celsius pass_peak = therm.peak_dram();
     double tot_raw = 0.0, tot_internal = 0.0, tot_pim = 0.0;
@@ -207,9 +226,9 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
           // Conservative device behaviour: stop, cool, lose data (paper
           // III-A.2); account the recovery and restart the pass cold.
           result.shut_down = true;
-          tr.instant(now, "sys", "thermal_shutdown",
+          tr.instant(now, obs::names::kCatSys, "thermal_shutdown",
                      {{"recovery_ms", cfg_.shutdown_recovery.as_ms()}});
-          if (ctr != nullptr) ctr->counter("sys/shutdowns").add();
+          if (ctr != nullptr) ctr->counter(obs::names::kSysShutdowns).add();
           now += cfg_.shutdown_recovery;
           therm.reset();
           engine.restart();
@@ -242,7 +261,7 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
         // The epoch ran [now - step, now): the HMC serve span covers it, and
         // the thermal model's internal trace clock is re-anchored so its
         // step() span lands on the same interval.
-        tr.complete(now - step, step, "hmc", "serve",
+        tr.complete(now - step, step, obs::names::kCatHmc, "serve",
                     {{"reads", reads},
                      {"writes", writes},
                      {"pim_ops", pim_ops},
@@ -251,10 +270,12 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
       therm.sync_trace_clock(now - step);
       therm.step(step);
       if (ctr != nullptr) {
-        ctr->counter("sys/epochs").add();
-        ctr->counter("hmc/served_reads").add(static_cast<std::uint64_t>(reads + 0.5));
-        ctr->counter("hmc/served_writes").add(static_cast<std::uint64_t>(writes + 0.5));
-        ctr->counter("hmc/served_pim_ops").add(static_cast<std::uint64_t>(pim_ops + 0.5));
+        ctr->counter(obs::names::kSysEpochs).add();
+        ctr->counter(obs::names::kHmcServedReads).add(static_cast<std::uint64_t>(reads + 0.5));
+        ctr->counter(obs::names::kHmcServedWrites)
+            .add(static_cast<std::uint64_t>(writes + 0.5));
+        ctr->counter(obs::names::kHmcServedPimOps)
+            .add(static_cast<std::uint64_t>(pim_ops + 0.5));
       }
       if (measure) {
         result.cube_energy_j += pb.total().value() * secs;
@@ -269,9 +290,23 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
       sensor.record(now, dram);
 
       // Thermal warnings ride on response packets; the host sees the sensed
-      // (delayed) temperature.
-      if (!ideal && cfg_.policy.warning(sensor.sensed(now))) {
-        if (ctr != nullptr) ctr->counter("sys/thermal_warnings_delivered").add();
+      // (delayed) temperature.  With the fault layer active the reading is
+      // conditioned (noise / quantization / stuck-at), raised warnings roll
+      // their in-flight fate, and the watchdog closes the fail-safe loop.
+      if (faulty) {
+        faults->begin_epoch(now);
+        const Celsius seen = faults->condition_reading(now, sensor.sensed(now));
+        if (cfg_.policy.warning(seen)) faults->offer_warning(now);
+        faults->maybe_spurious(now);
+        for (const auto& d : faults->collect_due(now)) {
+          if (ctr != nullptr) ctr->counter(obs::names::kSysThermalWarningsDelivered).add();
+          controller->on_thermal_warning(d.at, d.raised_at);
+          if (wdog) wdog->on_delivery(d.at);
+          if (measure) ++result.thermal_warnings;
+        }
+        if (wdog && wdog->tick(now, seen)) controller->on_watchdog_engage(now);
+      } else if (!ideal && cfg_.policy.warning(sensor.sensed(now))) {
+        if (ctr != nullptr) ctr->counter(obs::names::kSysThermalWarningsDelivered).add();
         controller->on_thermal_warning(now);
         if (measure) ++result.thermal_warnings;
       }
@@ -287,11 +322,11 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
         result.pim_rate.record(now, mix.pim_per_sec * 1e-9);
         result.dram_temp.record(now, dram.value());
         result.link_bw.record(now, link.data_bandwidth(mix).as_gbps());
-        tr.counter(now, "sys", "pim_rate_gops", mix.pim_per_sec * 1e-9);
-        tr.counter(now, "sys", "link_data_gbps", link.data_bandwidth(mix).as_gbps());
+        tr.counter(now, obs::names::kCatSys, "pim_rate_gops", mix.pim_per_sec * 1e-9);
+        tr.counter(now, obs::names::kCatSys, "link_data_gbps", link.data_bandwidth(mix).as_gbps());
         if (ctr != nullptr) {
-          ctr->gauge("sys/pim_rate_gops").set(mix.pim_per_sec * 1e-9);
-          ctr->gauge("sys/link_data_gbps").set(link.data_bandwidth(mix).as_gbps());
+          ctr->gauge(obs::names::kSysPimRateGops).set(mix.pim_per_sec * 1e-9);
+          ctr->gauge(obs::names::kSysLinkDataGbps).set(link.data_bandwidth(mix).as_gbps());
           ctr->mark(now);
         }
       }
@@ -375,9 +410,25 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
   if (tr.enabled()) {
     // One span per controller over the measured pass so the throttle policy
     // in force is readable directly off the "core" track.
-    tr.complete(measured_start, now - measured_start, "core", controller->name(),
+    tr.complete(measured_start, now - measured_start, obs::names::kCatCore, controller->name(),
                 {{"adjustments", controller->adjustments()},
                  {"warnings_delivered", result.thermal_warnings}});
+  }
+  if (faulty) {
+    result.faults.active = true;
+    const auto& fs = faults->stats();
+    result.faults.warnings_offered = fs.warnings_offered;
+    result.faults.warnings_delivered = fs.warnings_delivered;
+    result.faults.warnings_dropped = fs.warnings_dropped;
+    result.faults.warnings_corrupted = fs.warnings_corrupted;
+    result.faults.retries = fs.retries;
+    result.faults.retry_giveups = fs.retry_giveups;
+    result.faults.spurious_warnings = fs.spurious_warnings;
+    result.faults.link_outages = fs.link_outages;
+    if (wdog) {
+      result.faults.watchdog_engagements = wdog->engagements();
+      result.faults.watchdog_disengagements = wdog->disengagements();
+    }
   }
   return result;
 }

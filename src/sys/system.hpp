@@ -18,6 +18,7 @@
 
 #include "common/units.hpp"
 #include "core/controller.hpp"
+#include "fault/fault_config.hpp"
 #include "gpu/config.hpp"
 #include "hmc/config.hpp"
 #include "hmc/thermal_policy.hpp"
@@ -37,6 +38,11 @@ struct SystemConfig {
   power::EnergyParams energy{};
   power::CoolingType cooling{power::CoolingType::kCommodityServer};
   Scenario scenario{Scenario::kCoolPimHw};
+
+  /// Deterministic fault environment for the warning loop (fault::FaultPlan).
+  /// Default-constructed == fault-free: the fault path is not instantiated
+  /// and the run is bit-identical to the pre-fault-layer simulator.
+  fault::FaultConfig fault{};
 
   Time epoch{Time::us(10.0)};
   Time warmup_epoch{Time::us(50.0)};

@@ -6,6 +6,7 @@
 #include "graph/generator.hpp"
 #include "graph/workloads.hpp"
 #include "obs/counters.hpp"
+#include "obs/names.hpp"
 #include "runner/pool.hpp"
 #include "sys/profile_cache.hpp"
 
@@ -133,9 +134,9 @@ WorkloadSet::WorkloadSet(unsigned scale, std::uint64_t seed, bool include_extend
   for (std::size_t i = 0; i < profiles_.size(); ++i) index_.emplace(profiles_[i].name, i);
 
   if (options.counters) {
-    options.counters->counter("graph/profile_cache_hits").add(stats_.cache_hits);
-    options.counters->counter("graph/profile_cache_misses").add(stats_.cache_misses);
-    options.counters->counter("graph/profiles_computed").add(stats_.profiles_computed);
+    options.counters->counter(obs::names::kGraphProfileCacheHits).add(stats_.cache_hits);
+    options.counters->counter(obs::names::kGraphProfileCacheMisses).add(stats_.cache_misses);
+    options.counters->counter(obs::names::kGraphProfilesComputed).add(stats_.profiles_computed);
   }
 }
 

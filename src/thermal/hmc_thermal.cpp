@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/names.hpp"
 #include "thermal/materials.hpp"
 
 namespace coolpim::thermal {
@@ -82,8 +83,8 @@ void HmcThermalModel::apply_power(const power::PowerBreakdown& power) {
 std::size_t HmcThermalModel::solve_steady(SteadyStart start) {
   const std::size_t iters = stack_.solve_steady(1e-4, 200000, start);
   if (counters_ != nullptr) {
-    counters_->counter("thermal/steady_solves").add();
-    counters_->counter("thermal/steady_iterations").add(iters);
+    counters_->counter(obs::names::kThermalSteadySolves).add();
+    counters_->counter(obs::names::kThermalSteadyIterations).add(iters);
   }
   return iters;
 }
@@ -102,15 +103,15 @@ void HmcThermalModel::step(Time dt) {
   above_limit_ = above;
 
   if (counters_ != nullptr) {
-    counters_->counter("thermal/steps").add();
-    if (crossed) counters_->counter("thermal/warning_crossings").add();
-    counters_->gauge("thermal/peak_dram_c").set(dram_c);
-    counters_->gauge("thermal/peak_logic_c").set(logic_c);
+    counters_->counter(obs::names::kThermalSteps).add();
+    if (crossed) counters_->counter(obs::names::kThermalWarningCrossings).add();
+    counters_->gauge(obs::names::kThermalPeakDramC).set(dram_c);
+    counters_->gauge(obs::names::kThermalPeakLogicC).set(logic_c);
   }
   if (trace_.enabled()) {
-    trace_.complete(began, dt, "thermal", "step", {{"peak_dram_c", dram_c}});
-    trace_.counter(clock_, "thermal", "peak_dram_c", dram_c);
-    trace_.counter(clock_, "thermal", "peak_logic_c", logic_c);
+    trace_.complete(began, dt, obs::names::kCatThermal, "step", {{"peak_dram_c", dram_c}});
+    trace_.counter(clock_, obs::names::kCatThermal, "peak_dram_c", dram_c);
+    trace_.counter(clock_, obs::names::kCatThermal, "peak_logic_c", logic_c);
     if (crossed) {
       obs::TraceArgs args;
       args.emplace_back("direction", above ? "rising" : "falling");
@@ -118,7 +119,7 @@ void HmcThermalModel::step(Time dt) {
       for (std::size_t l = 1; l <= cfg_.dram_dies; ++l) {
         args.emplace_back("dram" + std::to_string(l - 1) + "_c", stack_.layer_peak(l).value());
       }
-      trace_.instant(clock_, "thermal", "warning_crossing", std::move(args));
+      trace_.instant(clock_, obs::names::kCatThermal, "warning_crossing", std::move(args));
     }
   }
 }

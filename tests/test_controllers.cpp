@@ -1,6 +1,8 @@
-// Tests for the SW-DynT and HW-DynT throttling controllers.
+// Tests for the SW-DynT and HW-DynT throttling controllers, the BW-Throttle
+// baseline, origin-aware warning coalescing and the watchdog degrade steps.
 #include <gtest/gtest.h>
 
+#include "core/bw_throttle.hpp"
 #include "core/controller.hpp"
 #include "core/hw_dynt.hpp"
 #include "core/sw_dynt.hpp"
@@ -141,6 +143,124 @@ TEST(ControllerContractTest, ThrottleDelaysOrdered) {
   SwDynT sw{sw_config(8)};
   HwDynT hw{HwDynTConfig{}};
   EXPECT_GT(sw.throttle_delay(), hw.throttle_delay() * 100);
+}
+
+// ---- Origin-aware coalescing ------------------------------------------------
+// A warning delayed in flight (fault layer) arrives with raised_at < now.
+// Coalescing keys on raised_at: a late duplicate of an already-handled
+// excursion must not shrink again, however late it is delivered.
+
+TEST(SwDynTTest, StaleDelayedWarningStaysCoalesced) {
+  SwDynTConfig cfg = sw_config(64);
+  cfg.control_factor = 4;
+  cfg.update_interval = Time::ms(2.5);
+  cfg.throttle_delay = Time::zero();
+  SwDynT sw{cfg};
+  // Issue the whole pool so min(PTP - CF, #issued) is not clamped by issuance.
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(sw.acquire_block(Time::zero()));
+  sw.on_thermal_warning(Time::ms(1), Time::ms(1));
+  (void)sw.acquire_block(Time::ms(1));  // applies the pending shrink
+  EXPECT_EQ(sw.pool().size(), 60u);
+  // Delivered far outside the update interval, but *raised* inside it:
+  // the same excursion, already handled.
+  sw.on_thermal_warning(Time::ms(6), Time::ms(1.5));
+  (void)sw.acquire_block(Time::ms(6));
+  EXPECT_EQ(sw.pool().size(), 60u);
+  // A genuinely new excursion (fresh raise time) shrinks again.
+  sw.on_thermal_warning(Time::ms(6.5), Time::ms(6.5));
+  (void)sw.acquire_block(Time::ms(6.5));
+  EXPECT_EQ(sw.pool().size(), 56u);
+}
+
+TEST(HwDynTTest, StaleDelayedWarningStaysCoalesced) {
+  HwDynTConfig cfg;
+  cfg.max_warps_per_sm = 64;
+  cfg.control_factor = 8;
+  cfg.settle_window = Time::ms(2.5);
+  HwDynT hw{cfg};
+  hw.on_thermal_warning(Time::ms(1), Time::ms(1));
+  EXPECT_EQ(hw.enabled_warps(), 56u);
+  hw.on_thermal_warning(Time::ms(6), Time::ms(2));  // stale duplicate
+  EXPECT_EQ(hw.enabled_warps(), 56u);
+  hw.on_thermal_warning(Time::ms(6), Time::ms(6));  // new excursion
+  EXPECT_EQ(hw.enabled_warps(), 48u);
+}
+
+TEST(BwThrottleTest, ReducesOnWarningWithFloorAndCoalescing) {
+  BwThrottleConfig cfg;
+  cfg.reduction_step = 0.5;
+  cfg.floor = 0.2;
+  cfg.settle_window = Time::ms(2.5);
+  BwThrottleController bw{cfg};
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 1.0);
+  bw.on_thermal_warning(Time::ms(1), Time::ms(1));
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.5);
+  bw.on_thermal_warning(Time::ms(7), Time::ms(2));  // stale: coalesced
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.5);
+  bw.on_thermal_warning(Time::ms(7), Time::ms(7));
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.25);
+  bw.on_thermal_warning(Time::ms(20), Time::ms(20));
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.2);  // floored
+  EXPECT_EQ(bw.adjustments(), 3u);
+}
+
+// ---- Watchdog degrade steps -------------------------------------------------
+// With the warning channel silent the watchdog forces a conservative halving
+// step, bypassing the coalescing window (there is no feedback to over-count).
+
+TEST(SwDynTTest, WatchdogEngageHalvesPool) {
+  SwDynTConfig cfg = sw_config(64);
+  cfg.control_factor = 4;
+  SwDynT sw{cfg};
+  // Issue the whole pool so min(PTP - step, #issued) is not clamped.
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(sw.acquire_block(Time::zero()));
+  sw.on_watchdog_engage(Time::ms(1));
+  EXPECT_EQ(sw.pool().size(), 32u);  // immediate, no interrupt latency
+  sw.on_watchdog_engage(Time::ms(2));
+  EXPECT_EQ(sw.pool().size(), 16u);
+  // Near the bottom the step floors at the control factor.
+  sw.on_watchdog_engage(Time::ms(3));
+  sw.on_watchdog_engage(Time::ms(4));
+  EXPECT_EQ(sw.pool().size(), 4u);
+  EXPECT_EQ(sw.adjustments(), 4u);
+}
+
+TEST(HwDynTTest, WatchdogEngageHalvesWarps) {
+  HwDynTConfig cfg;
+  cfg.max_warps_per_sm = 64;
+  cfg.control_factor = 8;
+  cfg.throttle_delay = Time::us(0.1);
+  HwDynT hw{cfg};
+  hw.on_watchdog_engage(Time::ms(1));
+  EXPECT_EQ(hw.enabled_warps(), 32u);
+  // PCU latency still applies: the old fraction is visible until then.
+  EXPECT_DOUBLE_EQ(hw.pim_warp_fraction(Time::ms(1)), 1.0);
+  EXPECT_NEAR(hw.pim_warp_fraction(Time::ms(1.001)), 0.5, 1e-12);
+  hw.on_watchdog_engage(Time::ms(2));
+  EXPECT_EQ(hw.enabled_warps(), 16u);
+  hw.on_watchdog_engage(Time::ms(3));
+  EXPECT_EQ(hw.enabled_warps(), 8u);  // step floors at control_factor
+  EXPECT_EQ(hw.adjustments(), 3u);
+}
+
+TEST(BwThrottleTest, WatchdogEngageHalvesAdmittedFraction) {
+  BwThrottleConfig cfg;
+  cfg.floor = 0.2;
+  BwThrottleController bw{cfg};
+  bw.on_watchdog_engage(Time::ms(1));
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.5);
+  bw.on_watchdog_engage(Time::ms(2));
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.25);
+  bw.on_watchdog_engage(Time::ms(3));
+  EXPECT_DOUBLE_EQ(bw.admit_fraction(), 0.2);  // floored
+}
+
+TEST(ControllerContractTest, DefaultWatchdogEngageActsAsWarning) {
+  // Controllers without a dedicated degrade step fall back to treating the
+  // engagement as a warning raised now.
+  NaiveController naive;
+  naive.on_watchdog_engage(Time::ms(1));
+  EXPECT_EQ(naive.warnings_seen(), 1u);
 }
 
 }  // namespace

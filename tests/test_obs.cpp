@@ -3,10 +3,14 @@
 // and the counter/gauge registry with its per-epoch marks.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "obs/counters.hpp"
+#include "obs/names.hpp"
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
 
@@ -203,6 +207,70 @@ TEST(SweepObserverTest, CountersCsvHasDocumentedHeader) {
   EXPECT_NE(out.find("0,dc,Naive,1,counter,sys/epochs,4"), std::string::npos);
   // Final end-of-run snapshot stamped with exec_time.
   EXPECT_NE(out.find("0,dc,Naive,2,counter,sys/epochs,4"), std::string::npos);
+}
+
+// ---- Docs sync: obs::names vs docs/OBSERVABILITY.md -------------------------
+// The exported name catalogue (src/obs/names.hpp) is the single source of
+// truth for the counter/gauge/category namespace; this pins it to the schema
+// reference in both directions: every exported name is documented, and every
+// documented counter-style token still exists.
+
+namespace {
+
+std::string read_observability_doc() {
+  std::ifstream doc{std::string{COOLPIM_DOCS_DIR} + "/OBSERVABILITY.md"};
+  EXPECT_TRUE(doc.is_open()) << "docs/OBSERVABILITY.md missing";
+  std::ostringstream ss;
+  ss << doc.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(DocsSyncTest, EveryExportedCounterAndGaugeIsDocumented) {
+  const std::string doc = read_observability_doc();
+  for (const auto name : names::kAllCounters) {
+    EXPECT_NE(doc.find("`" + std::string{name} + "`"), std::string::npos)
+        << name << " not documented in docs/OBSERVABILITY.md";
+  }
+  for (const auto name : names::kAllGauges) {
+    EXPECT_NE(doc.find("`" + std::string{name} + "`"), std::string::npos)
+        << name << " not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(DocsSyncTest, EveryCategoryHasASchemaSection) {
+  const std::string doc = read_observability_doc();
+  for (const auto cat : names::kAllCategories) {
+    EXPECT_NE(doc.find("### `" + std::string{cat} + "`"), std::string::npos)
+        << "category " << cat << " has no trace-schema section in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(DocsSyncTest, EveryDocumentedCounterStillExists) {
+  // Scan backticked `prefix/name` tokens whose prefix matches an exported
+  // counter/gauge namespace; each must still be in the catalogue (a doc row
+  // for a renamed or deleted counter fails here).
+  const std::string doc = read_observability_doc();
+  std::set<std::string> known, prefixes;
+  for (const auto name : names::kAllCounters) {
+    known.emplace(name);
+    prefixes.emplace(std::string{name.substr(0, name.find('/'))});
+  }
+  for (const auto name : names::kAllGauges) {
+    known.emplace(name);
+    prefixes.emplace(std::string{name.substr(0, name.find('/'))});
+  }
+  const std::regex token{R"(`([a-z_]+/[a-z_0-9]+)`)"};
+  for (auto it = std::sregex_iterator{doc.begin(), doc.end(), token};
+       it != std::sregex_iterator{}; ++it) {
+    const std::string name = (*it)[1];
+    const std::string prefix = name.substr(0, name.find('/'));
+    if (prefixes.count(prefix) == 0) continue;  // paths, prose placeholders
+    EXPECT_TRUE(known.count(name) == 1)
+        << "docs/OBSERVABILITY.md documents `" << name
+        << "` which is not in obs::names (renamed or removed?)";
+  }
 }
 
 }  // namespace

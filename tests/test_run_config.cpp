@@ -1,0 +1,184 @@
+// Tests for sys::RunConfig: the unified COOLPIM_* / --flag run configuration
+// with precedence CLI > environment > default, argv stripping, validation,
+// and the SystemConfig / WorkloadSet hand-offs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sys/run_config.hpp"
+#include "sys/system.hpp"
+
+namespace coolpim::sys {
+namespace {
+
+/// Mutable argv for from_args tests; keeps the strings alive.
+struct Args {
+  explicit Args(std::vector<std::string> words) : strings{std::move(words)} {
+    strings.insert(strings.begin(), "prog");
+    for (auto& s : strings) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    argc = static_cast<int>(strings.size());
+  }
+  std::vector<std::string> strings;
+  std::vector<char*> argv;
+  int argc{0};
+
+  [[nodiscard]] std::vector<std::string> remaining() const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) out.emplace_back(argv[i]);
+    return out;
+  }
+};
+
+/// Scoped environment variable; unset on destruction.
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_{name} {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(RunConfigTest, Defaults) {
+  RunConfig rc;
+  EXPECT_EQ(rc.jobs, 0u);
+  EXPECT_EQ(rc.scale, 18u);
+  EXPECT_EQ(rc.graph_seed, 1u);
+  EXPECT_TRUE(rc.trace_path.empty());
+  EXPECT_FALSE(rc.fault.enabled());
+  rc.validate();
+}
+
+TEST(RunConfigTest, FromEnvOverlaysOntoBase) {
+  ScopedEnv scale{"COOLPIM_SCALE", "12"};
+  ScopedEnv jobs{"COOLPIM_JOBS", "3"};
+  ScopedEnv drop{"COOLPIM_FAULT_DROP", "0.25"};
+  RunConfig base;
+  base.graph_seed = 7;  // not in the environment: survives the overlay
+  const RunConfig rc = RunConfig::from_env(base);
+  EXPECT_EQ(rc.scale, 12u);
+  EXPECT_EQ(rc.jobs, 3u);
+  EXPECT_EQ(rc.graph_seed, 7u);
+  EXPECT_DOUBLE_EQ(rc.fault.warning_drop_rate, 0.25);
+  EXPECT_TRUE(rc.fault.enabled());
+}
+
+TEST(RunConfigTest, FromArgsConsumesOnlyRecognizedFlags) {
+  Args args{{"--workload", "dc", "--scale", "10", "--fault-noise-c", "0.5",
+             "--timeline"}};
+  const RunConfig rc = RunConfig::from_args(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.scale, 10u);
+  EXPECT_DOUBLE_EQ(rc.fault.sensor_noise_sigma_c, 0.5);
+  // App-specific flags pass through in order; argv stays null-terminated.
+  EXPECT_EQ(args.remaining(),
+            (std::vector<std::string>{"--workload", "dc", "--timeline"}));
+  EXPECT_EQ(args.argv[args.argc], nullptr);
+}
+
+TEST(RunConfigTest, FlagEqualsValueForm) {
+  Args args{{"--scale=9", "--fault-drop=0.75", "--trace=/tmp/t.json"}};
+  const RunConfig rc = RunConfig::from_args(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.scale, 9u);
+  EXPECT_DOUBLE_EQ(rc.fault.warning_drop_rate, 0.75);
+  EXPECT_EQ(rc.trace_path, "/tmp/t.json");
+  EXPECT_TRUE(args.remaining().empty());
+}
+
+TEST(RunConfigTest, CliWinsOverEnvironment) {
+  ScopedEnv scale{"COOLPIM_SCALE", "12"};
+  ScopedEnv seed{"COOLPIM_GRAPH_SEED", "5"};
+  Args args{{"--scale", "16"}};
+  const RunConfig rc = RunConfig::resolve(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.scale, 16u);     // CLI over env
+  EXPECT_EQ(rc.graph_seed, 5u);  // env over default
+}
+
+TEST(RunConfigTest, MalformedValuesThrow) {
+  {
+    Args args{{"--scale", "abc"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--fault-drop", "not-a-rate"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--fault-watchdog", "maybe"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--jobs"}};  // missing value
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+}
+
+TEST(RunConfigTest, ValidationRejectsOutOfRange) {
+  {
+    Args args{{"--scale", "30"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--fault-drop", "1.5"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  ScopedEnv scale{"COOLPIM_SCALE", "4"};
+  EXPECT_THROW((void)RunConfig::from_env(), ConfigError);
+}
+
+TEST(RunConfigTest, BoolKnobs) {
+  Args args{{"--fault-watchdog", "off", "--fault-enable", "1"}};
+  const RunConfig rc = RunConfig::from_args(&args.argc, args.argv.data());
+  EXPECT_FALSE(rc.fault.watchdog.enabled);
+  EXPECT_TRUE(rc.fault.force_enable);
+  EXPECT_TRUE(rc.fault.enabled());  // force_enable alone turns the layer on
+}
+
+TEST(RunConfigTest, ApplyToCopiesOnlyTheFaultEnvironment) {
+  RunConfig rc;
+  rc.scale = 10;  // not a SystemConfig field: must not leak anywhere
+  rc.fault.warning_drop_rate = 0.5;
+  SystemConfig cfg;
+  const SystemConfig before = cfg;
+  rc.apply_to(cfg);
+  EXPECT_DOUBLE_EQ(cfg.fault.warning_drop_rate, 0.5);
+  // Nothing but the fault environment is RunConfig's to set.
+  EXPECT_EQ(cfg.scenario, before.scenario);
+  EXPECT_EQ(cfg.epoch, before.epoch);
+  EXPECT_EQ(cfg.warm_start, before.warm_start);
+  EXPECT_EQ(cfg.run_seed, before.run_seed);
+}
+
+TEST(RunConfigTest, ApplyToIsNoOpWhenFaultFree) {
+  RunConfig rc;
+  SystemConfig cfg;
+  const SystemConfig before = cfg;
+  rc.apply_to(cfg);
+  EXPECT_EQ(cfg.fault, before.fault);
+  EXPECT_FALSE(cfg.fault.enabled());
+}
+
+TEST(RunConfigTest, BuildOptionsCarryJobsAndCacheDir) {
+  RunConfig rc;
+  rc.jobs = 4;
+  rc.profile_cache_dir = "/tmp/cache";
+  const auto opt = rc.build_options();
+  EXPECT_EQ(opt.jobs, 4u);
+  EXPECT_EQ(opt.cache_dir, "/tmp/cache");
+}
+
+TEST(RunConfigTest, FlagsHelpMentionsEveryFlag) {
+  const std::string help = RunConfig::flags_help();
+  for (const char* flag :
+       {"--jobs", "--scale", "--graph-seed", "--trace", "--counters",
+        "--profile-cache", "--fault-drop", "--fault-corrupt", "--fault-spurious",
+        "--fault-delay-us", "--fault-noise-c", "--fault-quant-c", "--fault-stuck",
+        "--fault-outage", "--fault-watchdog", "--fault-enable"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag << " missing from help";
+  }
+}
+
+}  // namespace
+}  // namespace coolpim::sys

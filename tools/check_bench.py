@@ -62,6 +62,29 @@ SCHEMAS = {
         "csr.speedup": NUM,
         "csr.bit_identical": bool,
     },
+    "coolpim-bench-resilience/1": {
+        "quick": bool,
+        "scale": NUM,
+        "workload": str,
+        "threshold_c": NUM,
+        "workload_build_ms": NUM,
+        "sweep_wall_ms": NUM,
+        "drop_sweep[].scenario": str,
+        "drop_sweep[].drop_rate": NUM,
+        "drop_sweep[].noise_sigma_c": NUM,
+        "drop_sweep[].peak_dram_c": NUM,
+        "drop_sweep[].exec_ms": NUM,
+        "drop_sweep[].warnings_delivered": NUM,
+        "drop_sweep[].warnings_dropped": NUM,
+        "drop_sweep[].watchdog_engagements": NUM,
+        "noise_sweep[].scenario": str,
+        "noise_sweep[].noise_sigma_c": NUM,
+        "noise_sweep[].peak_dram_c": NUM,
+        "gate.max_peak_dram_c": NUM,
+        "gate.all_below_threshold": bool,
+        "gate.watchdog_engaged_at_full_drop": bool,
+        "gate.pass": bool,
+    },
     "coolpim-bench-sim/1": {
         "quick": bool,
         "queue.events": NUM,
