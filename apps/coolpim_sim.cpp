@@ -6,7 +6,9 @@
 // App-specific options:
 //     --workload NAME     dc|kcore|pagerank|bfs-ta|bfs-dwc|bfs-ttc|bfs-twc|
 //                         sssp-dtc|sssp-dwc|sssp-twc|cc|tc|all   (default dc)
-//     --scenario NAME     baseline|naive|coolpim-sw|coolpim-hw|ideal|all
+//     --scenario NAME     baseline|naive|coolpim-sw|coolpim-hw|ideal|
+//                         bw-throttle|mpc|policy-table|all
+//                         (or pick one policy for every run with --policy)
 //     --cooling NAME      passive|low-end|commodity|high-end (default commodity)
 //     --cf N              control factor (blocks for SW, warps for HW)
 //     --target RATE       PIM-rate budget in op/ns      (default 1.3)
@@ -56,7 +58,9 @@ struct CliOptions {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
-      "usage: coolpim_sim [--workload NAME|all] [--scenario NAME|all|bw-throttle]\n"
+      "usage: coolpim_sim [--workload NAME|all]\n"
+      "                   [--scenario baseline|naive|coolpim-sw|coolpim-hw|ideal|\n"
+      "                               bw-throttle|mpc|policy-table|all]\n"
       "                   [--cooling passive|low-end|commodity|high-end] [--cf N]\n"
       "                   [--target OP_PER_NS] [--pei] [--timeline] [--seed N]\n"
       "                   [--csv FILE] [shared run flags]\n"
@@ -73,6 +77,8 @@ std::vector<sys::Scenario> parse_scenarios(const std::string& s) {
   if (s == "coolpim-hw") return {sys::Scenario::kCoolPimHw};
   if (s == "ideal") return {sys::Scenario::kIdealThermal};
   if (s == "bw-throttle") return {sys::Scenario::kBwThrottle};
+  if (s == "mpc") return {sys::Scenario::kMpc};
+  if (s == "policy-table") return {sys::Scenario::kPolicyTable};
   usage(("unknown scenario: " + s).c_str());
 }
 

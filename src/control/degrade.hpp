@@ -1,0 +1,61 @@
+// Shared degrade mechanics for the controller zoo.
+//
+// Every reactive policy coalesces thermal warnings on the device's *raise*
+// time (one excursion -> one reduction step, even when the fault layer
+// delivers delayed or out-of-order duplicates) and implements the watchdog's
+// fail-safe contract as a halving step.  Before the zoo these three lines
+// were duplicated across SW-DynT, HW-DynT and BW-Throttle; the contract is
+// now implemented once and pinned by tests/test_policy_contract.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace coolpim::control {
+
+/// Warning coalescing keyed on the raise time.  `stale()` and `mark()` are
+/// deliberately separate (not one mutating accept()) because SW-DynT checks
+/// staleness before its pending-interrupt guard and only commits the window
+/// start when the step is actually scheduled.
+class WarningCoalescer {
+ public:
+  explicit WarningCoalescer(Time window) : window_{window} {}
+
+  /// True when `raised_at` falls inside the window opened by the last
+  /// marked warning: a duplicate of an already-handled excursion.
+  [[nodiscard]] bool stale(Time raised_at) const {
+    return marked_once_ && raised_at - last_marked_ < window_;
+  }
+
+  /// Open a new coalescing window at `raised_at` (the accepted warning).
+  void mark(Time raised_at) {
+    last_marked_ = raised_at;
+    marked_once_ = true;
+  }
+
+  [[nodiscard]] Time window() const { return window_; }
+
+ private:
+  Time window_;
+  Time last_marked_{Time::ps(-1)};
+  bool marked_once_{false};
+};
+
+/// Watchdog fail-safe step on an integer allowance (token-pool size, enabled
+/// warps, remaining MPC levels): remove at least half of what is left, and
+/// never less than one regular control step.  Halving converges in a few
+/// engagements even when every warning is lost.
+[[nodiscard]] constexpr std::uint32_t halving_step(std::uint32_t current,
+                                                   std::uint32_t min_step) {
+  return std::max(min_step, current / 2);
+}
+
+/// The same fail-safe on a fractional allowance (admitted demand, table
+/// target), clamped to the policy's floor.
+[[nodiscard]] constexpr double halved_fraction(double current, double floor) {
+  return std::max(floor, current * 0.5);
+}
+
+}  // namespace coolpim::control

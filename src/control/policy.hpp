@@ -1,0 +1,61 @@
+// The controller zoo's uniform contract: a throttling policy is data.
+//
+// `control::Policy` extends the engine-facing core::ThrottleController with
+// the hooks the full-system loop drives every epoch, plus a queryable
+// throttle level so benches, tests and observability can compare policies
+// without knowing their mechanism (token pool, warp count, admitted
+// fraction, MPC level...).  Concrete policies register by name in
+// control/registry.hpp; tests/test_policy_contract.cpp pins the invariants
+// every registered policy must keep (DESIGN.md section 11):
+//
+//  * throttle_level() stays in [0, max_throttle_level()] at all times;
+//  * consecutive thermal warnings never *decrease* the level, and a stale
+//    delayed duplicate (same raise time) never applies a second step;
+//  * on_watchdog_engage() degrades the remaining allowance by at least half
+//    (or to the policy's saturation level, whichever binds first);
+//  * results are bit-identical at any --jobs value (policies draw no RNG).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "core/controller.hpp"
+#include "obs/counters.hpp"
+
+namespace coolpim::control {
+
+/// Host-visible state handed to the policy once per simulation epoch: the
+/// *sensed* peak DRAM temperature (thermal delay applied, fault conditioning
+/// included when the fault layer is active).  Reactive policies ignore it;
+/// predictive policies act on it before any warning fires.
+struct Reading {
+  Celsius sensed{0.0};
+};
+
+class Policy : public core::ThrottleController {
+ public:
+  /// Per-epoch observation hook, called by the system loop right before
+  /// warning delivery.  Default: no-op (purely reactive policy), so the
+  /// pre-zoo scenarios stay bit-identical to their goldens.
+  virtual void on_epoch(const Reading& /*reading*/, Time /*now*/) {}
+
+  /// Current throttle depth: 0 = unthrottled, max_throttle_level() = the
+  /// policy's strongest setting.  Units are policy-specific (blocks removed,
+  /// warps disabled, admittance millis...); only the ordering is contractual.
+  [[nodiscard]] virtual std::uint32_t throttle_level() const = 0;
+  [[nodiscard]] virtual std::uint32_t max_throttle_level() const = 0;
+
+  /// Highest level the degrade paths (warnings, watchdog) can actually reach;
+  /// policies with an admittance floor saturate short of max_throttle_level().
+  [[nodiscard]] virtual std::uint32_t saturation_level() const {
+    return max_throttle_level();
+  }
+
+  /// Attach the counter registry (observation only, like set_trace()).
+  void set_counters(obs::CounterRegistry* counters) { counters_ = counters; }
+
+ protected:
+  obs::CounterRegistry* counters_{nullptr};
+};
+
+}  // namespace coolpim::control

@@ -1,0 +1,48 @@
+#include "control/registry.hpp"
+
+#include "common/error.hpp"
+#include "control/baselines.hpp"
+
+namespace coolpim::control {
+
+bool policy_from_name(std::string_view name, sys::Scenario& out) {
+  for (const PolicyInfo& p : kRegisteredPolicies) {
+    if (p.cli_name == name) {
+      out = p.scenario;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string policy_names() {
+  std::string names;
+  for (const PolicyInfo& p : kRegisteredPolicies) {
+    if (!names.empty()) names += ", ";
+    names += p.cli_name;
+  }
+  return names;
+}
+
+std::unique_ptr<Policy> make_policy(const PolicyBuild& build) {
+  switch (build.scenario) {
+    case sys::Scenario::kNonOffloading:
+      return std::make_unique<NonOffloadingPolicy>();
+    case sys::Scenario::kNaiveOffloading:
+    case sys::Scenario::kIdealThermal:
+      return std::make_unique<NaivePolicy>();
+    case sys::Scenario::kCoolPimSw:
+      return std::make_unique<core::SwDynT>(build.sw);
+    case sys::Scenario::kCoolPimHw:
+      return std::make_unique<core::HwDynT>(build.hw);
+    case sys::Scenario::kBwThrottle:
+      return std::make_unique<core::BwThrottleController>(build.bw);
+    case sys::Scenario::kMpc:
+      return std::make_unique<MpcPolicy>(build.mpc);
+    case sys::Scenario::kPolicyTable:
+      return std::make_unique<TablePolicy>(build.table);
+  }
+  throw ConfigError("unknown scenario");
+}
+
+}  // namespace coolpim::control

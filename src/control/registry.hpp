@@ -1,0 +1,63 @@
+// The controller-zoo registry: a policy is data -- a named, registrable
+// factory keyed by scenario, with one uniform build entry point.
+//
+// The system layer populates a PolicyBuild from its SystemConfig plus the
+// workload analysis (Eq. 1 inputs) and asks make_policy() for the scenario's
+// controller; apps and RunConfig translate the --policy / COOLPIM_POLICY
+// vocabulary through policy_from_name().  kRegisteredPolicies is iterable so
+// the contract suite (tests/test_policy_contract.cpp) covers every throttling
+// policy automatically -- registering a sixth policy here enrolls it in the
+// conformance tests without touching them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "control/mpc.hpp"
+#include "control/policy.hpp"
+#include "control/policy_table.hpp"
+#include "core/bw_throttle.hpp"
+#include "core/hw_dynt.hpp"
+#include "core/sw_dynt.hpp"
+#include "sys/scenario.hpp"
+
+namespace coolpim::control {
+
+/// Everything any zoo member may need; the system layer fills in the slices
+/// its scenario uses and make_policy() picks the right one.
+struct PolicyBuild {
+  sys::Scenario scenario{sys::Scenario::kCoolPimHw};
+  core::SwDynTConfig sw{};
+  core::HwDynTConfig hw{};
+  core::BwThrottleConfig bw{};
+  MpcConfig mpc{};
+  PolicyTableConfig table{};
+};
+
+struct PolicyInfo {
+  std::string_view cli_name;  // --policy / COOLPIM_POLICY vocabulary
+  sys::Scenario scenario;
+};
+
+/// Every registered *throttling* policy (baselines are scenarios, not
+/// selectable policies).  The contract suite iterates this array.
+inline constexpr PolicyInfo kRegisteredPolicies[] = {
+    {"sw-dynt", sys::Scenario::kCoolPimSw},
+    {"hw-dynt", sys::Scenario::kCoolPimHw},
+    {"bw-throttle", sys::Scenario::kBwThrottle},
+    {"mpc", sys::Scenario::kMpc},
+    {"policy-table", sys::Scenario::kPolicyTable},
+};
+
+/// Resolve a registered policy name; returns false (leaving `out` untouched)
+/// for an unknown name.
+[[nodiscard]] bool policy_from_name(std::string_view name, sys::Scenario& out);
+
+/// Comma-separated registered names, for --help and error messages.
+[[nodiscard]] std::string policy_names();
+
+/// Build the scenario's policy (baseline scenarios included).
+[[nodiscard]] std::unique_ptr<Policy> make_policy(const PolicyBuild& build);
+
+}  // namespace coolpim::control

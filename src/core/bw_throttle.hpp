@@ -11,9 +11,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/units.hpp"
-#include "core/controller.hpp"
+#include "control/degrade.hpp"
+#include "control/policy.hpp"
 #include "obs/names.hpp"
 
 namespace coolpim::core {
@@ -29,19 +31,19 @@ struct BwThrottleConfig {
 
 /// Offloads everything (like naive) but clamps the total demand the GPU
 /// issues when warnings arrive.  The engine consumes `admit_fraction()`.
-class BwThrottleController final : public ThrottleController {
+class BwThrottleController final : public control::Policy {
  public:
-  explicit BwThrottleController(const BwThrottleConfig& cfg = {}) : cfg_{cfg} {}
+  explicit BwThrottleController(const BwThrottleConfig& cfg = {})
+      : cfg_{cfg}, coalesce_{cfg.settle_window} {}
 
-  using ThrottleController::on_thermal_warning;
+  using control::Policy::on_thermal_warning;
   void on_thermal_warning(Time now, Time raised_at) override {
     ++warnings_;
     // Coalesce on the raise time so delayed duplicates stay one step.
-    if (accepted_once_ && raised_at - last_accepted_ < cfg_.settle_window) return;
+    if (coalesce_.stale(raised_at)) return;
     const double before = admit_;
     admit_ = std::max(cfg_.floor, admit_ * (1.0 - cfg_.reduction_step));
-    last_accepted_ = raised_at;
-    accepted_once_ = true;
+    coalesce_.mark(raised_at);
     ++reductions_;
     if (trace_.enabled()) {
       trace_.instant(now, obs::names::kCatCore, "bw_admit_reduce", {{"from", before}, {"to", admit_}});
@@ -49,12 +51,12 @@ class BwThrottleController final : public ThrottleController {
   }
 
   void on_watchdog_engage(Time now) override {
-    // Fail-safe degrade: halve the admitted demand, bypassing the settle
-    // window (the warning channel is silent, so nothing to over-count).
+    // Fail-safe degrade: the shared halving contract on the admitted demand,
+    // bypassing the settle window (the warning channel is silent, so nothing
+    // to over-count).
     const double before = admit_;
-    admit_ = std::max(cfg_.floor, admit_ * 0.5);
-    last_accepted_ = now;
-    accepted_once_ = true;
+    admit_ = control::halved_fraction(admit_, cfg_.floor);
+    coalesce_.mark(now);
     ++reductions_;
     if (trace_.enabled()) {
       trace_.instant(now, obs::names::kCatCore, "watchdog_bw_reduce", {{"from", before}, {"to", admit_}});
@@ -68,6 +70,16 @@ class BwThrottleController final : public ThrottleController {
   [[nodiscard]] Time throttle_delay() const override { return cfg_.throttle_delay; }
   [[nodiscard]] std::uint64_t adjustments() const override { return reductions_; }
 
+  /// Level = denied fraction of total demand in milli-units; the admittance
+  /// floor saturates the degrade paths short of the maximum.
+  [[nodiscard]] std::uint32_t throttle_level() const override {
+    return static_cast<std::uint32_t>(std::lround((1.0 - admit_) * 1000.0));
+  }
+  [[nodiscard]] std::uint32_t max_throttle_level() const override { return 1000; }
+  [[nodiscard]] std::uint32_t saturation_level() const override {
+    return static_cast<std::uint32_t>(std::lround((1.0 - cfg_.floor) * 1000.0));
+  }
+
   [[nodiscard]] double demand_scale(Time) const override { return admit_; }
 
   /// Fraction of total GPU demand currently admitted, consumed by the engine.
@@ -76,8 +88,7 @@ class BwThrottleController final : public ThrottleController {
  private:
   BwThrottleConfig cfg_;
   double admit_{1.0};
-  Time last_accepted_{Time::ps(-1)};
-  bool accepted_once_{false};
+  control::WarningCoalescer coalesce_;
   std::uint64_t warnings_{0};
   std::uint64_t reductions_{0};
 };

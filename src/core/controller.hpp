@@ -15,7 +15,6 @@
 #include <string_view>
 
 #include "common/units.hpp"
-#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace coolpim::core {
@@ -75,38 +74,6 @@ class ThrottleController {
 
  protected:
   obs::Trace trace_;
-};
-
-/// Offloads everything, ignores warnings: the paper's naive-offloading
-/// configuration (PEI-style, no source control).
-class NaiveController final : public ThrottleController {
- public:
-  using ThrottleController::on_thermal_warning;
-  void on_thermal_warning(Time now, Time /*raised_at*/) override {
-    ++warnings_;
-    trace_.instant(now, obs::names::kCatCore, "warning_ignored");
-  }
-  bool acquire_block(Time) override { return true; }
-  void release_block(Time) override {}
-  [[nodiscard]] double pim_warp_fraction(Time) const override { return 1.0; }
-  [[nodiscard]] std::string_view name() const override { return "naive-offloading"; }
-  [[nodiscard]] Time throttle_delay() const override { return Time::zero(); }
-  [[nodiscard]] std::uint64_t warnings_seen() const { return warnings_; }
-
- private:
-  std::uint64_t warnings_{0};
-};
-
-/// Never offloads: the non-offloading baseline.
-class NonOffloadingController final : public ThrottleController {
- public:
-  using ThrottleController::on_thermal_warning;
-  void on_thermal_warning(Time, Time) override {}
-  bool acquire_block(Time) override { return false; }
-  void release_block(Time) override {}
-  [[nodiscard]] double pim_warp_fraction(Time) const override { return 0.0; }
-  [[nodiscard]] std::string_view name() const override { return "non-offloading"; }
-  [[nodiscard]] Time throttle_delay() const override { return Time::zero(); }
 };
 
 }  // namespace coolpim::core

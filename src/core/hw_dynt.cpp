@@ -10,7 +10,7 @@ void HwDynT::on_thermal_warning(Time now, Time raised_at) {
   // Delayed control updates: accept at most one reduction per settle window,
   // keyed on the time the warning was *raised* so delayed or out-of-order
   // duplicates of an already-handled excursion stay coalesced.
-  if (accepted_once_ && raised_at - last_accepted_ < cfg_.settle_window) return;
+  if (coalesce_.stale(raised_at)) return;
 
   previous_warps_ = enabled_warps_;
   enabled_warps_ = enabled_warps_ > cfg_.control_factor
@@ -18,8 +18,7 @@ void HwDynT::on_thermal_warning(Time now, Time raised_at) {
                        : 0;
   has_pending_ = true;
   effective_at_ = now + cfg_.throttle_delay;
-  last_accepted_ = raised_at;
-  accepted_once_ = true;
+  coalesce_.mark(raised_at);
   ++reductions_;
   if (trace_.enabled()) {
     // PCU update latency as a span, the warp-disable step as an instant.
@@ -30,16 +29,15 @@ void HwDynT::on_thermal_warning(Time now, Time raised_at) {
 }
 
 void HwDynT::on_watchdog_engage(Time now) {
-  // Fail-safe degrade with the warning channel silent: disable half the
-  // PIM-enabled warps (at least one control step), bypassing the settle
-  // window -- there is no feedback to over-count.
+  // Fail-safe degrade with the warning channel silent: the shared halving
+  // contract on the enabled warps, bypassing the settle window -- there is
+  // no feedback to over-count.
   previous_warps_ = enabled_warps_;
-  const std::uint32_t step = std::max(cfg_.control_factor, enabled_warps_ / 2);
+  const std::uint32_t step = control::halving_step(enabled_warps_, cfg_.control_factor);
   enabled_warps_ = enabled_warps_ > step ? enabled_warps_ - step : 0;
   has_pending_ = true;
   effective_at_ = now + cfg_.throttle_delay;
-  last_accepted_ = now;
-  accepted_once_ = true;
+  coalesce_.mark(now);
   ++reductions_;
   if (trace_.enabled()) {
     trace_.instant(now, obs::names::kCatCore, "watchdog_warp_disable",

@@ -11,7 +11,8 @@
 #pragma once
 
 #include "common/units.hpp"
-#include "core/controller.hpp"
+#include "control/degrade.hpp"
+#include "control/policy.hpp"
 
 namespace coolpim::core {
 
@@ -22,12 +23,12 @@ struct HwDynTConfig {
   Time settle_window{Time::ms(2.5)};     // delayed-update window (sensor delay + ~2 thermal taus)
 };
 
-class HwDynT final : public ThrottleController {
+class HwDynT final : public control::Policy {
  public:
   explicit HwDynT(const HwDynTConfig& cfg)
-      : cfg_{cfg}, enabled_warps_{cfg.max_warps_per_sm} {}
+      : cfg_{cfg}, enabled_warps_{cfg.max_warps_per_sm}, coalesce_{cfg.settle_window} {}
 
-  using ThrottleController::on_thermal_warning;
+  using control::Policy::on_thermal_warning;
   void on_thermal_warning(Time now, Time raised_at) override;
   void on_watchdog_engage(Time now) override;
   bool acquire_block(Time) override { return true; }  // block granularity unused
@@ -36,6 +37,14 @@ class HwDynT final : public ThrottleController {
   [[nodiscard]] std::string_view name() const override { return "CoolPIM (HW)"; }
   [[nodiscard]] Time throttle_delay() const override { return cfg_.throttle_delay; }
   [[nodiscard]] std::uint64_t adjustments() const override { return reductions_; }
+
+  /// Level = warps disabled below the per-SM maximum.
+  [[nodiscard]] std::uint32_t throttle_level() const override {
+    return cfg_.max_warps_per_sm - enabled_warps_;
+  }
+  [[nodiscard]] std::uint32_t max_throttle_level() const override {
+    return cfg_.max_warps_per_sm;
+  }
 
   [[nodiscard]] std::uint32_t enabled_warps() const { return enabled_warps_; }
   [[nodiscard]] std::uint64_t warnings_received() const { return warnings_; }
@@ -47,8 +56,7 @@ class HwDynT final : public ThrottleController {
   Time effective_at_{Time::zero()};   // when the latest reduction takes effect
   std::uint32_t previous_warps_{0};   // value before the pending reduction
   bool has_pending_{false};
-  Time last_accepted_{Time::ps(-1)};
-  bool accepted_once_{false};
+  control::WarningCoalescer coalesce_;
   std::uint64_t warnings_{0};
   std::uint32_t reductions_{0};
 };

@@ -8,36 +8,34 @@ namespace coolpim::core {
 SwDynT::SwDynT(const SwDynTConfig& cfg)
     : cfg_{cfg},
       initial_size_{cfg.use_static_init ? initial_ptp_size(cfg.eq1) : cfg.eq1.max_blocks},
-      pool_{initial_size_} {}
+      pool_{initial_size_},
+      coalesce_{cfg.update_interval} {}
 
 void SwDynT::on_thermal_warning(Time now, Time raised_at) {
   ++warnings_;
   // Coalesce warnings within the thermal response window, keyed on the time
   // the device *raised* the warning: a delayed or out-of-order duplicate of
   // an already-handled excursion is stale and must not shrink the pool again.
-  if (updated_once_ && raised_at - last_update_ < cfg_.update_interval) return;
+  if (coalesce_.stale(raised_at)) return;
   // The interrupt handler runs after T_throttle; model by making the shrink
   // visible only from `now + throttle_delay` (blocks launched before that
   // still see the old pool).
   if (has_pending_) return;
   has_pending_ = true;
   pending_until_ = now + cfg_.throttle_delay;
-  last_update_ = raised_at;
-  updated_once_ = true;
+  coalesce_.mark(raised_at);
   // The accepted warning's interrupt-to-effect latency as a span.
   trace_.complete(now, cfg_.throttle_delay, obs::names::kCatCore, "sw_dynt_interrupt");
 }
 
 void SwDynT::on_watchdog_engage(Time now) {
-  // Fail-safe degrade with the warning channel silent: halve the PTP pool
-  // immediately (at least one control step).  Halving converges in a few
-  // steps even when every warning is lost.
+  // Fail-safe degrade with the warning channel silent: the shared halving
+  // contract on the PTP pool, applied immediately.  Halving converges in a
+  // few steps even when every warning is lost.
   if (has_pending_ && now >= pending_until_) apply_pending_shrink(now);
   const std::uint32_t before = pool_.size();
-  const std::uint32_t step = std::max(cfg_.control_factor, before / 2);
-  pool_.shrink(step);
-  last_update_ = now;
-  updated_once_ = true;
+  pool_.shrink(control::halving_step(before, cfg_.control_factor));
+  coalesce_.mark(now);
   if (trace_.enabled()) {
     trace_.instant(now, obs::names::kCatCore, "watchdog_ptp_shrink",
                    {{"from", before}, {"to", pool_.size()}});

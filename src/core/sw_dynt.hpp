@@ -9,7 +9,8 @@
 #pragma once
 
 #include "common/units.hpp"
-#include "core/controller.hpp"
+#include "control/degrade.hpp"
+#include "control/policy.hpp"
 #include "core/eq1.hpp"
 #include "core/token_pool.hpp"
 
@@ -25,11 +26,11 @@ struct SwDynTConfig {
   bool use_static_init{true};
 };
 
-class SwDynT final : public ThrottleController {
+class SwDynT final : public control::Policy {
  public:
   explicit SwDynT(const SwDynTConfig& cfg);
 
-  using ThrottleController::on_thermal_warning;
+  using control::Policy::on_thermal_warning;
   void on_thermal_warning(Time now, Time raised_at) override;
   void on_watchdog_engage(Time now) override;
   bool acquire_block(Time now) override;
@@ -38,6 +39,12 @@ class SwDynT final : public ThrottleController {
   [[nodiscard]] std::string_view name() const override { return "CoolPIM (SW)"; }
   [[nodiscard]] Time throttle_delay() const override { return cfg_.throttle_delay; }
   [[nodiscard]] std::uint64_t adjustments() const override { return pool_.shrink_count(); }
+
+  /// Level = tokens removed from the statically initialized pool.
+  [[nodiscard]] std::uint32_t throttle_level() const override {
+    return initial_size_ - pool_.size();
+  }
+  [[nodiscard]] std::uint32_t max_throttle_level() const override { return initial_size_; }
 
   [[nodiscard]] const TokenPool& pool() const { return pool_; }
   [[nodiscard]] std::uint32_t initial_pool_size() const { return initial_size_; }
@@ -53,8 +60,7 @@ class SwDynT final : public ThrottleController {
   TokenPool pool_;
   Time pending_until_{Time::zero()};   // pending interrupt completion
   bool has_pending_{false};
-  Time last_update_{Time::ps(-1)};
-  bool updated_once_{false};
+  control::WarningCoalescer coalesce_;
   std::uint64_t warnings_{0};
   std::uint64_t shadow_launches_{0};
 };

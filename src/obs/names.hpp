@@ -25,6 +25,7 @@ inline constexpr std::string_view kCatGpu = "gpu";
 inline constexpr std::string_view kCatSys = "sys";
 inline constexpr std::string_view kCatRunner = "runner";
 inline constexpr std::string_view kCatFault = "fault";
+inline constexpr std::string_view kCatControl = "control";
 
 // ---- Counters (monotonic event tallies) ------------------------------------
 // sim
@@ -71,6 +72,10 @@ inline constexpr std::string_view kFaultSensorStuckEpochs = "fault/sensor_stuck_
 inline constexpr std::string_view kFaultWatchdogEngagements = "fault/watchdog_engagements";
 inline constexpr std::string_view kFaultWatchdogDisengagements =
     "fault/watchdog_disengagements";
+// control (policy zoo; emitted by predictive policies)
+inline constexpr std::string_view kControlLevelChanges = "control/level_changes";
+inline constexpr std::string_view kControlMpcRollouts = "control/mpc_rollouts";
+inline constexpr std::string_view kControlTableClamps = "control/table_clamps";
 
 // ---- Gauges (sampled instantaneous values) ---------------------------------
 inline constexpr std::string_view kGpuPimFraction = "gpu/pim_fraction";
@@ -78,10 +83,12 @@ inline constexpr std::string_view kThermalPeakDramC = "thermal/peak_dram_c";
 inline constexpr std::string_view kThermalPeakLogicC = "thermal/peak_logic_c";
 inline constexpr std::string_view kSysPimRateGops = "sys/pim_rate_gops";
 inline constexpr std::string_view kSysLinkDataGbps = "sys/link_data_gbps";
+inline constexpr std::string_view kControlThrottleLevel = "control/throttle_level";
 
 // ---- Catalogues (docs-sync anchors) ----------------------------------------
 inline constexpr std::string_view kAllCategories[] = {
     kCatSim, kCatThermal, kCatCore, kCatHmc, kCatGpu, kCatSys, kCatRunner, kCatFault,
+    kCatControl,
 };
 
 inline constexpr std::string_view kAllCounters[] = {
@@ -120,11 +127,14 @@ inline constexpr std::string_view kAllCounters[] = {
     kFaultSensorStuckEpochs,
     kFaultWatchdogEngagements,
     kFaultWatchdogDisengagements,
+    kControlLevelChanges,
+    kControlMpcRollouts,
+    kControlTableClamps,
 };
 
 inline constexpr std::string_view kAllGauges[] = {
-    kGpuPimFraction, kThermalPeakDramC, kThermalPeakLogicC,
-    kSysPimRateGops, kSysLinkDataGbps,
+    kGpuPimFraction,  kThermalPeakDramC,    kThermalPeakLogicC,
+    kSysPimRateGops,  kSysLinkDataGbps,     kControlThrottleLevel,
 };
 
 }  // namespace coolpim::obs::names

@@ -53,6 +53,19 @@ void hash_fault(HashStream& h, const fault::FaultConfig& f) {
   h.add(f.force_enable);
 }
 
+void hash_mpc(HashStream& h, const control::MpcConfig& m) {
+  h.add(m.levels).add(m.horizon).add(m.threshold_c).add(m.guard_c).add(m.smoothing);
+  h.add(m.settle_window.as_ps()).add(m.throttle_delay.as_ps());
+  h.add(m.rc.tau_ms).add(m.rc.ambient_c).add(m.rc.pim_heat_fraction);
+}
+
+void hash_policy_table(HashStream& h, const control::PolicyTableConfig& t) {
+  h.add(t.table.t_min_c).add(t.table.bin_width_c);
+  for (const double a : t.table.allow) h.add(a);
+  h.add(t.reduction_step).add(t.floor);
+  h.add(t.settle_window.as_ps()).add(t.throttle_delay.as_ps());
+}
+
 void hash_energy(HashStream& h, const power::EnergyParams& e) {
   h.add(e.dram_energy_per_bit.value()).add(e.logic_energy_per_bit.value());
   h.add(e.fu_energy_per_bit.value()).add(e.fu_width_bits);
@@ -154,6 +167,16 @@ std::uint64_t config_hash(const sys::SystemConfig& cfg) {
   if (cfg.fault.enabled()) {
     h.add(true);
     hash_fault(h, cfg.fault);
+  }
+  // Predictive-policy configs: hashed only under their own scenario, same
+  // key-stability reasoning as the fault gating above.
+  if (cfg.scenario == sys::Scenario::kMpc) {
+    h.add(true);
+    hash_mpc(h, cfg.mpc);
+  }
+  if (cfg.scenario == sys::Scenario::kPolicyTable) {
+    h.add(true);
+    hash_policy_table(h, cfg.policy_table);
   }
   return h.digest();
 }

@@ -4,9 +4,7 @@
 #include <cmath>
 #include <memory>
 
-#include "core/bw_throttle.hpp"
-#include "core/hw_dynt.hpp"
-#include "core/sw_dynt.hpp"
+#include "control/registry.hpp"
 #include "gpu/engine.hpp"
 #include "hmc/link_model.hpp"
 #include "hmc/throughput_model.hpp"
@@ -36,33 +34,20 @@ struct Cube {
   Celsius peak{0.0};
 };
 
-std::unique_ptr<core::ThrottleController> make_controller(const SystemConfig& cfg,
-                                                          double naive_rate_estimate) {
-  switch (cfg.scenario) {
-    case Scenario::kNonOffloading:
-      return std::make_unique<core::NonOffloadingController>();
-    case Scenario::kNaiveOffloading:
-    case Scenario::kIdealThermal:
-      return std::make_unique<core::NaiveController>();
-    case Scenario::kBwThrottle:
-      return std::make_unique<core::BwThrottleController>();
-    case Scenario::kCoolPimSw: {
-      core::SwDynTConfig sc;
-      sc.control_factor = cfg.sw_control_factor;
-      sc.eq1.max_blocks = static_cast<std::uint32_t>(cfg.gpu.max_resident_blocks());
-      sc.eq1.target_rate_op_per_ns = cfg.target_rate_op_per_ns;
-      sc.eq1.margin_blocks = cfg.eq1_margin_blocks;
-      sc.eq1.estimated_naive_rate_op_per_ns = naive_rate_estimate;
-      return std::make_unique<core::SwDynT>(sc);
-    }
-    case Scenario::kCoolPimHw: {
-      core::HwDynTConfig hc;
-      hc.max_warps_per_sm = static_cast<std::uint32_t>(cfg.gpu.max_warps_per_sm);
-      hc.control_factor = cfg.hw_control_factor;
-      return std::make_unique<core::HwDynT>(hc);
-    }
-  }
-  throw ConfigError("unknown scenario");
+std::unique_ptr<control::Policy> make_controller(const SystemConfig& cfg,
+                                                 double naive_rate_estimate) {
+  control::PolicyBuild build;
+  build.scenario = cfg.scenario;
+  build.sw.control_factor = cfg.sw_control_factor;
+  build.sw.eq1.max_blocks = static_cast<std::uint32_t>(cfg.gpu.max_resident_blocks());
+  build.sw.eq1.target_rate_op_per_ns = cfg.target_rate_op_per_ns;
+  build.sw.eq1.margin_blocks = cfg.eq1_margin_blocks;
+  build.sw.eq1.estimated_naive_rate_op_per_ns = naive_rate_estimate;
+  build.hw.max_warps_per_sm = static_cast<std::uint32_t>(cfg.gpu.max_warps_per_sm);
+  build.hw.control_factor = cfg.hw_control_factor;
+  build.mpc = cfg.mpc;
+  build.table = cfg.policy_table;
+  return control::make_policy(build);
 }
 
 }  // namespace
@@ -165,6 +150,7 @@ MultiCubeResult MultiCubeSystem::run(const graph::WorkloadProfile& workload) {
     // Thermal update per cube from its own served share (re-scaled to the
     // committed pace so energy matches the work actually done).
     const double secs = used.as_sec();
+    Celsius hottest_now{0.0};
     if (secs > 0.0) {
       for (std::size_t i = 0; i < n; ++i) {
         hmc::TransactionMix mix{demand.reads * cubes[i].regular_share * served_fraction / secs,
@@ -184,9 +170,12 @@ MultiCubeResult MultiCubeSystem::run(const graph::WorkloadProfile& workload) {
         cubes[i].served_pim += demand.pim_ops * cubes[i].atomic_share * served_fraction;
         const Celsius t = cubes[i].therm->peak_dram();
         cubes[i].peak = std::max(cubes[i].peak, t);
+        hottest_now = std::max(hottest_now, t);
         if (!ideal && base.policy.warning(t)) any_warning = true;
       }
     }
+    // Per-epoch policy hook on the hottest cube (no-op for reactive policies).
+    if (!ideal && secs > 0.0) controller->on_epoch(control::Reading{hottest_now}, now);
     if (any_warning) {
       controller->on_thermal_warning(now);
       ++result.aggregate.thermal_warnings;

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "control/registry.hpp"
 #include "sys/system.hpp"
 
 namespace coolpim::sys {
@@ -61,6 +62,10 @@ const Knob kKnobs[] = {
      [](RunConfig& rc, std::string_view, const char* v) { rc.counters_path = v; }},
     {"COOLPIM_PROFILE_CACHE", "--profile-cache",
      [](RunConfig& rc, std::string_view, const char* v) { rc.profile_cache_dir = v; }},
+    {"COOLPIM_POLICY", "--policy",
+     [](RunConfig& rc, std::string_view, const char* v) { rc.policy = v; }},
+    {"COOLPIM_POLICY_TABLE", "--policy-table",
+     [](RunConfig& rc, std::string_view, const char* v) { rc.policy_table_path = v; }},
     {"COOLPIM_FAULT_DROP", "--fault-drop",
      [](RunConfig& rc, std::string_view n, const char* v) {
        rc.fault.warning_drop_rate = parse_double(n, v);
@@ -107,6 +112,12 @@ const Knob kKnobs[] = {
 
 void RunConfig::validate() const {
   COOLPIM_REQUIRE(scale >= 8 && scale <= 24, "scale must be in [8, 24]");
+  if (!policy.empty()) {
+    Scenario unused;
+    COOLPIM_REQUIRE(control::policy_from_name(policy, unused),
+                    "unknown policy '" + policy + "' (registered: " +
+                        control::policy_names() + ")");
+  }
   fault.validate();
 }
 
@@ -161,7 +172,18 @@ RunConfig RunConfig::from_args(int* argc, char** argv, RunConfig base) {
   return base;
 }
 
-void RunConfig::apply_to(SystemConfig& cfg) const { cfg.fault = fault; }
+void RunConfig::apply_to(SystemConfig& cfg) const {
+  cfg.fault = fault;
+  if (!policy.empty()) {
+    Scenario s;
+    COOLPIM_REQUIRE(control::policy_from_name(policy, s),
+                    "unknown policy '" + policy + "'");
+    cfg.scenario = s;
+  }
+  if (!policy_table_path.empty()) {
+    cfg.policy_table.table = control::load_policy_table(policy_table_path);
+  }
+}
 
 WorkloadSet::BuildOptions RunConfig::build_options() const {
   WorkloadSet::BuildOptions opt;
@@ -177,6 +199,10 @@ std::string RunConfig::flags_help() {
          "  --trace FILE         write a Chrome trace of the run(s)\n"
          "  --counters FILE      write a counter CSV of the run(s)\n"
          "  --profile-cache DIR  persistent workload-profile cache\n"
+         "  --policy NAME        throttling policy (" +
+         control::policy_names() +
+         ")\n"
+         "  --policy-table FILE  fitted policy-table CSV (policy-table only)\n"
          "  --fault-drop R       warning drop probability [0,1]\n"
          "  --fault-corrupt R    ERRSTAT corruption probability [0,1]\n"
          "  --fault-spurious R   per-epoch spurious-warning probability [0,1]\n"

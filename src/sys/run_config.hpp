@@ -40,6 +40,13 @@ struct RunConfig {
   /// Persistent workload-profile cache dir (COOLPIM_PROFILE_CACHE /
   /// --profile-cache); empty = off.
   std::string profile_cache_dir;
+  /// Throttling-policy selection by registered name (COOLPIM_POLICY /
+  /// --policy, see control/registry.hpp); empty = keep the scenario the
+  /// entry point configured.
+  std::string policy;
+  /// Fitted policy-table CSV for the policy-table controller
+  /// (COOLPIM_POLICY_TABLE / --policy-table); empty = compiled-in default.
+  std::string policy_table_path;
   /// Fault environment (COOLPIM_FAULT_* / --fault-*); default = fault-free.
   fault::FaultConfig fault{};
 
@@ -62,8 +69,9 @@ struct RunConfig {
     return from_args(argc, argv, from_env());
   }
 
-  /// Copy the fault environment into a system config (the only SystemConfig
-  /// field RunConfig owns); no-op relative to defaults when fault-free.
+  /// Copy the RunConfig-owned SystemConfig fields: the fault environment,
+  /// the selected policy's scenario, and a loaded policy table.  A no-op
+  /// relative to defaults when none of those knobs are set.
   void apply_to(SystemConfig& cfg) const;
 
   /// WorkloadSet build options implied by this config (jobs + cache dir).

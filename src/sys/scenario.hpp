@@ -12,6 +12,11 @@ enum class Scenario {
   kCoolPimHw,       // HW-DynT PCU
   kIdealThermal,    // naive offloading with unlimited cooling
   kBwThrottle,      // comparison policy: blanket bandwidth throttling
+  // Predictive members of the controller zoo (control/registry.hpp).  New
+  // scenarios append here so existing enum values -- and therefore existing
+  // experiment keys and golden results -- stay stable.
+  kMpc,             // MPC-style RC-model rollout (control/mpc.hpp)
+  kPolicyTable,     // offline-fitted lookup table (control/policy_table.hpp)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Scenario s) {
@@ -22,6 +27,8 @@ enum class Scenario {
     case Scenario::kCoolPimHw: return "CoolPIM (HW)";
     case Scenario::kIdealThermal: return "Ideal Thermal";
     case Scenario::kBwThrottle: return "BW-Throttle";
+    case Scenario::kMpc: return "CoolPIM (MPC)";
+    case Scenario::kPolicyTable: return "Policy-Table";
   }
   return "?";
 }
@@ -29,6 +36,7 @@ enum class Scenario {
 inline constexpr Scenario kAllScenarios[] = {
     Scenario::kNonOffloading, Scenario::kNaiveOffloading, Scenario::kCoolPimSw,
     Scenario::kCoolPimHw,     Scenario::kIdealThermal,    Scenario::kBwThrottle,
+    Scenario::kMpc,           Scenario::kPolicyTable,
 };
 
 /// Inverse of to_string(); returns false (leaving `out` untouched) for an

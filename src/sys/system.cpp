@@ -4,9 +4,7 @@
 #include <cmath>
 #include <optional>
 
-#include "core/bw_throttle.hpp"
-#include "core/hw_dynt.hpp"
-#include "core/sw_dynt.hpp"
+#include "control/registry.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/watchdog.hpp"
 #include "gpu/engine.hpp"
@@ -52,40 +50,27 @@ class DelayedSensor {
   std::deque<Sample> samples_;
 };
 
-std::unique_ptr<core::ThrottleController> make_controller(
-    const SystemConfig& cfg, const graph::WorkloadProfile& workload,
-    const hmc::LinkModel& link, double naive_rate_estimate) {
-  switch (cfg.scenario) {
-    case Scenario::kNonOffloading:
-      return std::make_unique<core::NonOffloadingController>();
-    case Scenario::kNaiveOffloading:
-    case Scenario::kIdealThermal:
-      return std::make_unique<core::NaiveController>();
-    case Scenario::kCoolPimSw: {
-      core::SwDynTConfig sc;
-      sc.control_factor = cfg.sw_control_factor;
-      sc.eq1.max_blocks = static_cast<std::uint32_t>(cfg.gpu.max_resident_blocks());
-      sc.eq1.pim_intensity = workload.pim_intensity();
-      sc.eq1.divergent_warp_ratio = workload.divergence_ratio();
-      sc.eq1.target_rate_op_per_ns = cfg.target_rate_op_per_ns;
-      sc.eq1.margin_blocks = cfg.eq1_margin_blocks;
-      // Peak PIM rate: the link FLIT budget divided by 3 FLITs per op.
-      sc.eq1.pim_peak_rate_op_per_ns =
-          link.flits_per_sec() / hmc::flit_cost(hmc::TransactionType::kPimNoReturn).total() *
-          1e-9;
-      sc.eq1.estimated_naive_rate_op_per_ns = naive_rate_estimate;
-      return std::make_unique<core::SwDynT>(sc);
-    }
-    case Scenario::kBwThrottle:
-      return std::make_unique<core::BwThrottleController>();
-    case Scenario::kCoolPimHw: {
-      core::HwDynTConfig hc;
-      hc.max_warps_per_sm = static_cast<std::uint32_t>(cfg.gpu.max_warps_per_sm);
-      hc.control_factor = cfg.hw_control_factor;
-      return std::make_unique<core::HwDynT>(hc);
-    }
-  }
-  throw ConfigError("unknown scenario");
+std::unique_ptr<control::Policy> make_controller(const SystemConfig& cfg,
+                                                 const graph::WorkloadProfile& workload,
+                                                 const hmc::LinkModel& link,
+                                                 double naive_rate_estimate) {
+  control::PolicyBuild build;
+  build.scenario = cfg.scenario;
+  build.sw.control_factor = cfg.sw_control_factor;
+  build.sw.eq1.max_blocks = static_cast<std::uint32_t>(cfg.gpu.max_resident_blocks());
+  build.sw.eq1.pim_intensity = workload.pim_intensity();
+  build.sw.eq1.divergent_warp_ratio = workload.divergence_ratio();
+  build.sw.eq1.target_rate_op_per_ns = cfg.target_rate_op_per_ns;
+  build.sw.eq1.margin_blocks = cfg.eq1_margin_blocks;
+  // Peak PIM rate: the link FLIT budget divided by 3 FLITs per op.
+  build.sw.eq1.pim_peak_rate_op_per_ns =
+      link.flits_per_sec() / hmc::flit_cost(hmc::TransactionType::kPimNoReturn).total() * 1e-9;
+  build.sw.eq1.estimated_naive_rate_op_per_ns = naive_rate_estimate;
+  build.hw.max_warps_per_sm = static_cast<std::uint32_t>(cfg.gpu.max_warps_per_sm);
+  build.hw.control_factor = cfg.hw_control_factor;
+  build.mpc = cfg.mpc;
+  build.table = cfg.policy_table;
+  return control::make_policy(build);
 }
 
 }  // namespace
@@ -134,6 +119,7 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
 
   auto controller = make_controller(cfg_, workload, link, naive_rate_estimate);
   controller->set_trace(tr);
+  controller->set_counters(ctr);
   gpu::ExecutionEngine engine{cfg_.gpu, std::move(launches), *controller};
   engine.set_observer(tr, ctr);
 
@@ -296,6 +282,9 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
       if (faulty) {
         faults->begin_epoch(now);
         const Celsius seen = faults->condition_reading(now, sensor.sensed(now));
+        // Per-epoch policy hook: predictive policies act on the (conditioned)
+        // sensed reading before any warning fires; a no-op for reactive ones.
+        controller->on_epoch(control::Reading{seen}, now);
         if (cfg_.policy.warning(seen)) faults->offer_warning(now);
         faults->maybe_spurious(now);
         for (const auto& d : faults->collect_due(now)) {
@@ -305,10 +294,14 @@ RunResult System::run(const graph::WorkloadProfile& workload) {
           if (measure) ++result.thermal_warnings;
         }
         if (wdog && wdog->tick(now, seen)) controller->on_watchdog_engage(now);
-      } else if (!ideal && cfg_.policy.warning(sensor.sensed(now))) {
-        if (ctr != nullptr) ctr->counter(obs::names::kSysThermalWarningsDelivered).add();
-        controller->on_thermal_warning(now);
-        if (measure) ++result.thermal_warnings;
+      } else if (!ideal) {
+        const Celsius seen = sensor.sensed(now);
+        controller->on_epoch(control::Reading{seen}, now);
+        if (cfg_.policy.warning(seen)) {
+          if (ctr != nullptr) ctr->counter(obs::names::kSysThermalWarningsDelivered).add();
+          controller->on_thermal_warning(now);
+          if (measure) ++result.thermal_warnings;
+        }
       }
 
       if (measure) {

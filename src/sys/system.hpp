@@ -17,7 +17,8 @@
 #include <memory>
 
 #include "common/units.hpp"
-#include "core/controller.hpp"
+#include "control/mpc.hpp"
+#include "control/policy_table.hpp"
 #include "fault/fault_config.hpp"
 #include "gpu/config.hpp"
 #include "hmc/config.hpp"
@@ -43,6 +44,12 @@ struct SystemConfig {
   /// Default-constructed == fault-free: the fault path is not instantiated
   /// and the run is bit-identical to the pre-fault-layer simulator.
   fault::FaultConfig fault{};
+
+  /// Predictive-policy configs, consumed only by their own scenario (and
+  /// hashed into the experiment key only then, so every pre-zoo experiment
+  /// keeps its key and golden results).
+  control::MpcConfig mpc{};
+  control::PolicyTableConfig policy_table{};
 
   Time epoch{Time::us(10.0)};
   Time warmup_epoch{Time::us(50.0)};

@@ -1,0 +1,166 @@
+// Regression tests for the predictive policies: the MPC rollout pinned
+// against a hand-computed RC solve, the policy-table boundary-bin clamping,
+// the fitted-CSV loader, and the end-to-end guarantee both policies exist
+// for -- peak DRAM temperature stays under the 85 C ceiling on the golden
+// scenario.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "control/mpc.hpp"
+#include "control/policy_table.hpp"
+#include "runner/experiment.hpp"
+#include "sys/system.hpp"
+
+namespace coolpim::control {
+namespace {
+
+TEST(RcModelTest, PredictPeakMatchesHandComputedTwoEpochSolve) {
+  // T_{k+1} = T_ss + (T_k - T_ss) * alpha, from 80 C toward 90 C at
+  // alpha = 0.5: epoch 1 -> 85, epoch 2 -> 87.5.  The peak of a monotone
+  // rise is the last step.
+  EXPECT_DOUBLE_EQ(rc_predict_peak(80.0, 90.0, 0.5, 2), 87.5);
+  // Cooling toward a lower target never exceeds the start: peak = T_0.
+  EXPECT_DOUBLE_EQ(rc_predict_peak(90.0, 80.0, 0.5, 2), 90.0);
+  // Zero horizon predicts the present.
+  EXPECT_DOUBLE_EQ(rc_predict_peak(83.0, 99.0, 0.5, 0), 83.0);
+}
+
+TEST(RcModelTest, InferSteadyRecoversTheAsymptote) {
+  // Generate one exponential step toward T_ss = 88 and invert it.
+  const double alpha = 0.6;
+  const double t_prev = 80.0;
+  const double t_now = 88.0 + (t_prev - 88.0) * alpha;
+  EXPECT_NEAR(rc_infer_steady(t_prev, t_now, alpha), 88.0, 1e-9);
+}
+
+TEST(MpcPolicyTest, RolloutPicksTheHandComputedLevel) {
+  // Two readings 1 ms apart on the default config (tau = 1.5 ms, so
+  // alpha = e^(-2/3)), drawn from an exact exponential approach to
+  // T_ss = 86 C starting at 80 C.
+  const MpcConfig cfg;
+  MpcPolicy p{cfg};
+  const double alpha = std::exp(-1.0 / cfg.rc.tau_ms);
+  const double t1 = 80.0;
+  const double t2 = 86.0 + (t1 - 86.0) * alpha;
+
+  p.on_epoch(Reading{Celsius{t1}}, Time::ms(1.0));  // bootstrap, no estimate yet
+  EXPECT_EQ(p.throttle_level(), 0u);
+  p.on_epoch(Reading{Celsius{t2}}, Time::ms(2.0));
+
+  // The first estimate is the raw two-point inversion: exactly 86 C.
+  EXPECT_NEAR(p.steady_estimate_c(), 86.0, 1e-9);
+  // Hand solve of the level scan: limit = 85 - 1 = 84.  Level 0 predicts the
+  // full approach to 86 C (fails); level 1 scales the 61 C rise above ambient
+  // by heat_scale(1) = 1 - 0.6/16, settling at 25 + 61 * 0.9625 = 83.7 C,
+  // which clears the guard band -- the least-throttled passing level is 1.
+  EXPECT_EQ(p.throttle_level(), 1u);
+}
+
+TEST(MpcPolicyTest, WarningStepPinsItsFloorThroughTheSettleWindow) {
+  const MpcConfig cfg;
+  MpcPolicy p{cfg};
+  p.on_epoch(Reading{Celsius{80.0}}, Time::ms(1.0));
+  p.on_epoch(Reading{Celsius{80.5}}, Time::ms(2.0));
+  const std::uint32_t modeled = p.throttle_level();
+  // Reactive fallback: a delivered warning steps levels/8 = 2 immediately.
+  p.on_thermal_warning(Time::ms(2.1));
+  EXPECT_EQ(p.throttle_level(), modeled + 2);
+  // Inside the settle window the model may not relax below the warning step,
+  // even on a cool reading that would otherwise choose level 0.
+  p.on_epoch(Reading{Celsius{60.0}}, Time::ms(3.0));
+  EXPECT_GE(p.throttle_level(), modeled + 2);
+}
+
+TEST(PolicyTableTest, LookupClampsAtTheBoundaryBins) {
+  const PolicyTable table = default_policy_table();  // [79, 87) in 1 C bins
+  bool clamped = false;
+  // Far below the fitted range: first bin, flagged as clamped.
+  EXPECT_DOUBLE_EQ(table.lookup(-10.0, &clamped), table.allow.front());
+  EXPECT_TRUE(clamped);
+  // Far above: last bin, flagged.
+  EXPECT_DOUBLE_EQ(table.lookup(500.0, &clamped), table.allow.back());
+  EXPECT_TRUE(clamped);
+  // Exactly on the boundaries of the covered range: not clamped.
+  EXPECT_DOUBLE_EQ(table.lookup(79.0, &clamped), table.allow.front());
+  EXPECT_FALSE(clamped);
+  EXPECT_DOUBLE_EQ(table.lookup(86.5, &clamped), table.allow.back());
+  EXPECT_FALSE(clamped);
+  // Interior bin: 82.5 C falls in bin 3.
+  EXPECT_DOUBLE_EQ(table.lookup(82.5, &clamped), table.allow[3]);
+  EXPECT_FALSE(clamped);
+}
+
+TEST(PolicyTableTest, WarningRatchetCapsBelowTheTableTarget) {
+  TablePolicy p{PolicyTableConfig{}};
+  p.on_epoch(Reading{Celsius{84.3}}, Time::ms(1.0));  // bin 5 -> 0.35
+  EXPECT_DOUBLE_EQ(p.effective_allow(), 0.35);
+  p.on_thermal_warning(Time::ms(1.1));
+  EXPECT_DOUBLE_EQ(p.effective_allow(), 0.35 * 0.75);
+  // A cooler epoch raises the table target, but the ratcheted cap holds.
+  p.on_epoch(Reading{Celsius{79.5}}, Time::ms(2.0));
+  EXPECT_DOUBLE_EQ(p.effective_allow(), 0.35 * 0.75);
+}
+
+TEST(PolicyTableTest, LoaderRoundTripsTheFitterFormat) {
+  const std::string path = testing::TempDir() + "policy_table_roundtrip.csv";
+  {
+    std::ofstream out{path};
+    out << "# fitted by tools/fit_policy.py\n"
+        << "80.0,1.0\n"
+        << "82.0,0.6\n"
+        << "84.0,0.3\n";
+  }
+  const PolicyTable t = load_policy_table(path);
+  EXPECT_DOUBLE_EQ(t.t_min_c, 80.0);
+  EXPECT_DOUBLE_EQ(t.bin_width_c, 2.0);
+  ASSERT_EQ(t.allow.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.allow[1], 0.6);
+  std::remove(path.c_str());
+}
+
+TEST(PolicyTableTest, CheckedInDefaultMatchesTheCompiledInTable) {
+  // tools/policy_table_default.csv promises to reproduce the built-in curve
+  // bit-for-bit; loading it must give exactly default_policy_table().
+  const PolicyTable loaded =
+      load_policy_table(std::string{COOLPIM_TOOLS_DIR} + "/policy_table_default.csv");
+  EXPECT_EQ(loaded, default_policy_table());
+}
+
+TEST(PolicyTableTest, LoaderRejectsMalformedTables) {
+  const std::string path = testing::TempDir() + "policy_table_bad.csv";
+  {
+    std::ofstream out{path};
+    out << "80.0,1.0\n81.0,not-a-number\n";
+  }
+  EXPECT_THROW((void)load_policy_table(path), ConfigError);
+  {
+    std::ofstream out{path};
+    out << "80.0,1.0\n81.0,0.9\n83.5,0.8\n";  // non-uniform spacing
+  }
+  EXPECT_THROW((void)load_policy_table(path), ConfigError);
+  EXPECT_THROW((void)load_policy_table(testing::TempDir() + "missing.csv"), ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(PredictiveGoldenTest, BothPoliciesKeepPeakUnderTheCeiling) {
+  // The property the predictive policies exist for, end to end on the
+  // hottest GraphBIG scenario: predicted throttling holds the peak DRAM
+  // temperature under the 85 C warning ceiling.
+  const sys::WorkloadSet set{14, 1};
+  for (const auto scenario : {sys::Scenario::kMpc, sys::Scenario::kPolicyTable}) {
+    for (const char* workload : {"dc", "pagerank"}) {
+      SCOPED_TRACE(std::string{sys::to_string(scenario)} + " / " + workload);
+      const sys::RunResult r = runner::run_one(set, workload, scenario, {});
+      EXPECT_LE(r.peak_dram_temp.value(), 85.0);
+      EXPECT_FALSE(r.shut_down);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coolpim::control

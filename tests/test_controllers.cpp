@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/bw_throttle.hpp"
-#include "core/controller.hpp"
+#include "control/baselines.hpp"
 #include "core/hw_dynt.hpp"
 #include "core/sw_dynt.hpp"
 
@@ -18,7 +18,7 @@ SwDynTConfig sw_config(std::uint32_t pool) {
 }
 
 TEST(NaiveControllerTest, AlwaysGrants) {
-  NaiveController c;
+  control::NaivePolicy c;
   EXPECT_TRUE(c.acquire_block(Time::zero()));
   EXPECT_DOUBLE_EQ(c.pim_warp_fraction(Time::zero()), 1.0);
   c.on_thermal_warning(Time::ms(1));
@@ -28,7 +28,7 @@ TEST(NaiveControllerTest, AlwaysGrants) {
 }
 
 TEST(NonOffloadingControllerTest, NeverGrants) {
-  NonOffloadingController c;
+  control::NonOffloadingPolicy c;
   EXPECT_FALSE(c.acquire_block(Time::zero()));
   EXPECT_DOUBLE_EQ(c.pim_warp_fraction(Time::zero()), 0.0);
 }
@@ -258,7 +258,7 @@ TEST(BwThrottleTest, WatchdogEngageHalvesAdmittedFraction) {
 TEST(ControllerContractTest, DefaultWatchdogEngageActsAsWarning) {
   // Controllers without a dedicated degrade step fall back to treating the
   // engagement as a warning raised now.
-  NaiveController naive;
+  control::NaivePolicy naive;
   naive.on_watchdog_engage(Time::ms(1));
   EXPECT_EQ(naive.warnings_seen(), 1u);
 }

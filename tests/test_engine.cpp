@@ -3,7 +3,7 @@
 
 #include "common/error.hpp"
 
-#include "core/controller.hpp"
+#include "control/baselines.hpp"
 #include "core/sw_dynt.hpp"
 #include "gpu/engine.hpp"
 #include "hmc/throughput_model.hpp"
@@ -32,7 +32,7 @@ hmc::EpochService full_service(const hmc::EpochDemand& d) {
 
 TEST(EngineTest, RunsToCompletion) {
   GpuConfig cfg;
-  core::NaiveController ctrl;
+  control::NaivePolicy ctrl;
   ExecutionEngine engine{cfg, {simple_launch(1e6, 1e4, 1e4, 64)}, ctrl};
   EXPECT_FALSE(engine.finished());
   Time now = Time::zero();
@@ -48,7 +48,7 @@ TEST(EngineTest, RunsToCompletion) {
 
 TEST(EngineTest, LaunchOverheadProducesNoDemand) {
   GpuConfig cfg;
-  core::NaiveController ctrl;
+  control::NaivePolicy ctrl;
   ExecutionEngine engine{cfg, {simple_launch(1e6, 1e4, 0, 8)}, ctrl};
   const auto d = engine.plan(Time::zero(), Time::us(10));
   EXPECT_DOUBLE_EQ(d.reads, 0.0);
@@ -60,7 +60,7 @@ TEST(EngineTest, LaunchOverheadProducesNoDemand) {
 
 TEST(EngineTest, NaiveControllerOffloadsAllAtomics) {
   GpuConfig cfg;
-  core::NaiveController ctrl;
+  control::NaivePolicy ctrl;
   ExecutionEngine engine{cfg, {simple_launch(1e6, 0, 1e5, 64)}, ctrl};
   Time now = engine.launch_overhead;
   (void)engine.commit(Time::zero(), engine.launch_overhead, full_service({}));
@@ -72,7 +72,7 @@ TEST(EngineTest, NaiveControllerOffloadsAllAtomics) {
 
 TEST(EngineTest, NonOffloadingTurnsAtomicsIntoRmw) {
   GpuConfig cfg;
-  core::NonOffloadingController ctrl;
+  control::NonOffloadingPolicy ctrl;
   ExecutionEngine engine{cfg, {simple_launch(1e6, 0, 1e5, 64)}, ctrl};
   Time now = engine.launch_overhead;
   (void)engine.commit(Time::zero(), engine.launch_overhead, full_service({}));
@@ -86,14 +86,14 @@ TEST(EngineTest, NonOffloadingTurnsAtomicsIntoRmw) {
 TEST(EngineTest, HostAtomicCoalescingReducesRmwTraffic) {
   GpuConfig cfg;
   cfg.host_atomic_coalescing = 0.5;
-  core::NonOffloadingController ctrl;
+  control::NonOffloadingPolicy ctrl;
   ExecutionEngine engine{cfg, {simple_launch(1e6, 0, 1e5, 64)}, ctrl};
   (void)engine.commit(Time::zero(), engine.launch_overhead, full_service({}));
   const auto half = engine.plan(engine.launch_overhead, Time::us(10));
 
   GpuConfig cfg2;
   cfg2.host_atomic_coalescing = 1.0;
-  core::NonOffloadingController ctrl2;
+  control::NonOffloadingPolicy ctrl2;
   ExecutionEngine engine2{cfg2, {simple_launch(1e6, 0, 1e5, 64)}, ctrl2};
   (void)engine2.commit(Time::zero(), engine2.launch_overhead, full_service({}));
   const auto full = engine2.plan(engine2.launch_overhead, Time::us(10));
@@ -114,7 +114,7 @@ TEST(EngineTest, TokenPoolLimitsPimFraction) {
 
 TEST(EngineTest, ServiceFractionSlowsProgress) {
   GpuConfig cfg;
-  core::NaiveController c1, c2;
+  control::NaivePolicy c1, c2;
   ExecutionEngine fast{cfg, {simple_launch(1e7, 1e5, 0, 64)}, c1};
   ExecutionEngine slow{cfg, {simple_launch(1e7, 1e5, 0, 64)}, c2};
   auto run = [](ExecutionEngine& e, double served) {
@@ -154,7 +154,7 @@ TEST(EngineTest, CommittedOpTotalsMatchLaunchAtomics) {
   };
   {
     GpuConfig cfg;
-    core::NaiveController ctrl;  // pim_fraction == 1: everything offloads
+    control::NaivePolicy ctrl;  // pim_fraction == 1: everything offloads
     ExecutionEngine engine{cfg, {simple_launch(1e7, 0, atomics, 64)}, ctrl};
     run(engine);
     EXPECT_NEAR(static_cast<double>(engine.stats().counter_value("pim_ops")), atomics, 1.0);
@@ -162,7 +162,7 @@ TEST(EngineTest, CommittedOpTotalsMatchLaunchAtomics) {
   }
   {
     GpuConfig cfg;
-    core::NonOffloadingController ctrl;  // pim_fraction == 0: all host RMW
+    control::NonOffloadingPolicy ctrl;  // pim_fraction == 0: all host RMW
     ExecutionEngine engine{cfg, {simple_launch(1e7, 0, atomics, 64)}, ctrl};
     run(engine);
     EXPECT_NEAR(static_cast<double>(engine.stats().counter_value("host_atomics")), atomics,
@@ -173,7 +173,7 @@ TEST(EngineTest, CommittedOpTotalsMatchLaunchAtomics) {
 
 TEST(EngineTest, RestartReplaysFromTheTop) {
   GpuConfig cfg;
-  core::NaiveController ctrl;
+  control::NaivePolicy ctrl;
   ExecutionEngine engine{cfg, {simple_launch(1e5, 1e3, 0, 8), simple_launch(1e5, 1e3, 0, 8)},
                          ctrl};
   Time now = Time::zero();
@@ -209,7 +209,7 @@ TEST(EngineTest, BuildLaunchesFromProfile) {
 
 TEST(EngineTest, EmptyWorkloadThrows) {
   GpuConfig cfg;
-  core::NaiveController ctrl;
+  control::NaivePolicy ctrl;
   EXPECT_THROW((ExecutionEngine{cfg, {}, ctrl}), ConfigError);
 }
 

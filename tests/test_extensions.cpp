@@ -2,7 +2,7 @@
 // policy, and the energy accounting.
 #include <gtest/gtest.h>
 
-#include "core/controller.hpp"
+#include "control/baselines.hpp"
 #include "gpu/engine.hpp"
 #include "graph/generator.hpp"
 #include "graph/reference.hpp"
@@ -71,7 +71,7 @@ TEST(OffloadPolicyTest, CoherentPolicyAddsWritebackTraffic) {
   auto demand_for = [&](gpu::OffloadPolicy policy) {
     gpu::GpuConfig cfg;
     cfg.offload_policy = policy;
-    core::NaiveController ctrl;
+    control::NaivePolicy ctrl;
     gpu::ExecutionEngine engine{cfg, {spec}, ctrl};
     hmc::EpochService empty{};
     (void)engine.commit(Time::zero(), engine.launch_overhead, empty);

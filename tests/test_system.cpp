@@ -38,14 +38,17 @@ class SystemFixture : public ::testing::Test {
   }
 };
 
-TEST_F(SystemFixture, AllSixScenariosRunAndProduceResults) {
+TEST_F(SystemFixture, AllScenariosRunAndProduceResults) {
   // kAllScenarios is the canonical iteration set for matrices and CLIs; it
-  // must contain every scenario exactly once (kBwThrottle was once missing).
+  // must contain every scenario exactly once (kBwThrottle was once missing),
+  // including the predictive controller-zoo members.
   std::set<Scenario> distinct{std::begin(kAllScenarios), std::end(kAllScenarios)};
-  EXPECT_EQ(distinct.size(), 6u);
+  EXPECT_EQ(distinct.size(), 8u);
   EXPECT_EQ(distinct.count(Scenario::kBwThrottle), 1u);
+  EXPECT_EQ(distinct.count(Scenario::kMpc), 1u);
+  EXPECT_EQ(distinct.count(Scenario::kPolicyTable), 1u);
 
-  ASSERT_EQ(dc_results().size(), 6u);
+  ASSERT_EQ(dc_results().size(), 8u);
   for (const auto& [scenario, r] : dc_results()) {
     SCOPED_TRACE(to_string(scenario));
     EXPECT_GT(r.exec_time, Time::zero());

@@ -85,6 +85,30 @@ SCHEMAS = {
         "gate.watchdog_engaged_at_full_drop": bool,
         "gate.pass": bool,
     },
+    "coolpim-bench-pareto/1": {
+        "quick": bool,
+        "scale": NUM,
+        "threshold_c": NUM,
+        "workload_build_ms": NUM,
+        "sweep_wall_ms": NUM,
+        "runs[].workload": str,
+        "runs[].policy": str,
+        "runs[].scenario": str,
+        "runs[].exec_ms": NUM,
+        "runs[].speedup": NUM,
+        "runs[].peak_dram_c": NUM,
+        "runs[].warnings": NUM,
+        "policies[].policy": str,
+        "policies[].geomean_speedup": NUM,
+        "policies[].max_peak_dram_c": NUM,
+        "policies[].total_warnings": NUM,
+        "gate.mpc_max_peak_dram_c": NUM,
+        "gate.mpc_geomean_speedup": NUM,
+        "gate.reactive_geomean_speedup": NUM,
+        "gate.peak_under_threshold": bool,
+        "gate.throughput_at_least_reactive": bool,
+        "gate.pass": bool,
+    },
     "coolpim-bench-sim/1": {
         "quick": bool,
         "queue.events": NUM,

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Fit a temperature -> admitted-PIM-fraction policy table offline.
+
+The imitation-learning path to the policy-table controller
+(src/control/policy_table.hpp): run the simulator's reactive controllers over
+the workload suite with a timeseries sink, then distill what they converged to
+into a lookup table the TablePolicy replays directly.
+
+Input is one or more timeseries CSVs as written by sys::write_timeseries_csv
+(`coolpim_sim --timeline-csv` / bench sinks), columns:
+
+    workload, scenario, t_ms, pim_rate_op_per_ns, peak_dram_c, link_data_gbps
+
+For every (workload, scenario) trace, the admitted fraction of each sample is
+its PIM rate normalized by the trace's own near-peak rate (95th percentile, so
+a startup transient does not inflate the reference).  Samples land in uniform
+temperature bins; each bin's allowance is the median admitted fraction seen at
+that temperature, clamped to [floor, 1].  Empty interior bins inherit their
+left neighbor, and the final curve is forced monotone non-increasing -- a
+hotter stack must never be granted more offload than a cooler one.
+
+The output is the loader's format (control::load_policy_table): '#' comments,
+then uniformly spaced "temp_c,allow" rows.  The checked-in
+tools/policy_table_default.csv carries the same curve as the compiled-in
+default table.
+
+Usage:
+    python3 tools/fit_policy.py [--t-min C] [--t-max C] [--bins N]
+        [--floor F] [--out FILE] timeseries.csv [...]
+"""
+
+import argparse
+import csv
+import statistics
+import sys
+
+
+def percentile(values, p):
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("no values")
+    idx = min(len(ordered) - 1, int(p * (len(ordered) - 1) + 0.5))
+    return ordered[idx]
+
+
+def read_samples(paths):
+    """Yield (peak_dram_c, admitted_fraction) over every trace in `paths`."""
+    for path in paths:
+        traces = {}
+        with open(path, newline="", encoding="utf-8") as f:
+            reader = csv.DictReader(f)
+            required = {"workload", "scenario", "peak_dram_c", "pim_rate_op_per_ns"}
+            missing = required - set(reader.fieldnames or [])
+            if missing:
+                sys.exit(f"fit_policy: {path}: missing columns {sorted(missing)}")
+            for row in reader:
+                key = (row["workload"], row["scenario"])
+                traces.setdefault(key, []).append(
+                    (float(row["peak_dram_c"]), float(row["pim_rate_op_per_ns"]))
+                )
+        for key, rows in traces.items():
+            rates = [rate for _, rate in rows]
+            reference = percentile(rates, 0.95)
+            if reference <= 0.0:
+                continue  # a trace that never offloaded teaches nothing
+            for temp, rate in rows:
+                yield temp, min(1.0, rate / reference)
+
+
+def fit_table(samples, t_min, t_max, bins, floor):
+    width = (t_max - t_min) / bins
+    by_bin = [[] for _ in range(bins)]
+    for temp, frac in samples:
+        idx = int((temp - t_min) / width)
+        if 0 <= idx < bins:
+            by_bin[idx].append(frac)
+
+    allow = []
+    previous = 1.0
+    for fractions in by_bin:
+        if fractions:
+            value = statistics.median(fractions)
+        else:
+            value = previous  # empty bin: inherit the cooler neighbor
+        value = max(floor, min(1.0, value))
+        value = min(value, previous)  # monotone non-increasing in temperature
+        allow.append(value)
+        previous = value
+    return width, allow
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("csvs", nargs="+", help="timeseries CSVs to distill")
+    ap.add_argument("--t-min", type=float, default=79.0)
+    ap.add_argument("--t-max", type=float, default=87.0)
+    ap.add_argument("--bins", type=int, default=8)
+    ap.add_argument("--floor", type=float, default=0.05)
+    ap.add_argument("--out", default="policy_table.csv")
+    args = ap.parse_args()
+    if args.bins < 1 or args.t_max <= args.t_min:
+        sys.exit("fit_policy: need bins >= 1 and t_max > t_min")
+    if not 0.0 < args.floor <= 1.0:
+        sys.exit("fit_policy: floor must be in (0, 1]")
+
+    samples = list(read_samples(args.csvs))
+    if not samples:
+        sys.exit("fit_policy: no usable samples in the input traces")
+    width, allow = fit_table(samples, args.t_min, args.t_max, args.bins, args.floor)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write("# temperature -> admitted PIM fraction, fitted by tools/fit_policy.py\n")
+        f.write(f"# {len(samples)} samples from: {', '.join(args.csvs)}\n")
+        f.write("# temp_c,allow\n")
+        for i, value in enumerate(allow):
+            f.write(f"{args.t_min + i * width:.6g},{value:.6g}\n")
+    print(f"fit_policy: wrote {args.bins} bins [{args.t_min}, {args.t_max}) C to {args.out}")
+
+
+if __name__ == "__main__":
+    main()
