@@ -1,0 +1,225 @@
+// Fleet-tier balancer comparison, emitted as BENCH_fleet.json (schema
+// coolpim-bench-fleet/1).
+//
+// The scenario is the thermal-DoS / hot-node shape from docs/FLEET.md: a
+// rack with a linear ambient gradient (the last node sits at the hot end)
+// under an offered load chosen so that thermally-oblivious placement
+// saturates the hot node past the 85 degC DRAM normal limit, while the
+// aggregate fleet still has enough cool capacity to absorb the same load.
+// Each registered balancer runs the identical open-loop Poisson stream.
+//
+// The offered load is derived, not hard-coded: from the mean service time and
+// steady heat of the profile table, the bench targets a per-node utilization
+// (kTargetUtil) that puts round-robin's hot-node steady temperature above the
+// ceiling by construction -- see the comment at offered_rate() -- so the gate
+// keeps passing if the synthetic profile table drifts.
+//
+// Gate (exit 1 on failure):
+//   * thermal-aware holds EVERY node's peak at or below 85 degC,
+//   * round-robin pushes at least one node past it,
+//   * thermal-aware p99 latency stays within 2x of join-shortest-queue,
+//   * jobs=1 and jobs=8 produce byte-identical node summaries.
+//
+// Flags: --out FILE (default BENCH_fleet.json), --quick (fewer nodes,
+// shorter horizon).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+#include "perf_support.hpp"
+
+using namespace coolpim;
+
+namespace {
+
+constexpr double kCeilingC = 85.0;   // DRAM normal limit (NodeConfig default)
+constexpr double kAmbientC = 35.0;   // cool-end idle temperature
+constexpr double kSpreadC = 14.0;    // rack gradient: hot end idles at 49 C
+constexpr double kTargetUtil = 0.78; // per-node util under oblivious placement
+constexpr double kP99FactorVsJsq = 2.0;
+
+/// Offered arrival rate (req/s) that loads every node to kTargetUtil under a
+/// balancer that splits traffic evenly.  With mean steady heat E[heat] ~ 43 C
+/// the hot-end node's steady temperature under oblivious placement is
+/// ambient + spread + util * E[heat] ~ 82.7 C: a few degC below the ceiling,
+/// but Poisson bursts push it over -- and any util above derate_factor makes
+/// one crossing permanent, because the x0.5 derate halves the hot node's
+/// service rate, so it saturates and runs away toward
+/// ambient + spread + E[heat] ~ 92 C.  A thermal-aware placement instead
+/// equalizes temperatures across the rack (~ 76 C at this load), leaving
+/// real burst headroom below the ceiling.
+double offered_rate(const std::vector<fleet::ServiceProfile>& profiles, std::size_t nodes) {
+  double mean_service_ms = 0.0;
+  for (const auto& p : profiles) mean_service_ms += p.service_ms;
+  mean_service_ms /= static_cast<double>(profiles.size());
+  // util = rate_per_ms * E[service] / nodes  =>  rate
+  return kTargetUtil * static_cast<double>(nodes) / mean_service_ms * 1e3;
+}
+
+fleet::FleetConfig base_config(bool quick) {
+  fleet::FleetConfig cfg;
+  cfg.nodes = quick ? 4 : 8;
+  cfg.node.ambient_c = kAmbientC;
+  // Rack-scale thermal mass: slower than the bare-stack default, so a burst
+  // cannot spike a node far past its steady temperature before the balancer
+  // reacts.
+  cfg.node.tau_ms = 100.0;
+  // A short queue bounds how much work a node is committed to once it turns
+  // hot: 8 requests ~ 20 ms ~ 0.2 tau of locked-in heating (a few degC of
+  // worst-case overshoot, not ten).
+  cfg.node.queue_capacity = 8;
+  cfg.rack_ambient_spread_c = kSpreadC;
+  // Stiff thermal penalty for the gate experiment: 24 queue slots per degC
+  // above the 80 C reference means a node more than ~0.3 C over it is never
+  // picked while any materially cooler node admits.  Below the reference the
+  // policy degenerates to join-shortest-queue (same latency); above it,
+  // placement backs off well before the 85 C derate threshold, so the fleet
+  // equilibrates by temperature exactly where it matters.
+  cfg.balancer_cfg.temp_ref_c = 80.0;
+  cfg.balancer_cfg.temp_weight = 24.0;
+  cfg.balancer_cfg.warning_weight = 16.0;
+  cfg.profiles = fleet::synthetic_profiles();
+  // The horizon must comfortably cover the hot node's tipping time (~3 tau
+  // to reach the derate threshold, then the runaway): too short and the
+  // oblivious balancers look healthy simply because the run ends first.
+  cfg.duration_ms = quick ? 700.0 : 1000.0;
+  cfg.arrival_rate_per_s = offered_rate(cfg.profiles, cfg.nodes);
+  return cfg;
+}
+
+struct BalancerRun {
+  std::string name;
+  fleet::FleetResult result;
+  double wall_ms{0.0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = bench::arg_value(argc, argv, "--out", "BENCH_fleet.json");
+  const bool quick = bench::arg_flag(argc, argv, "--quick");
+
+  const fleet::FleetConfig base = base_config(quick);
+  std::cout << "Fleet sweep: " << base.nodes << " nodes, rack spread " << kSpreadC
+            << " C, " << base.arrival_rate_per_s << " req/s over " << base.duration_ms
+            << " ms...\n";
+
+  // One run per registered balancer over the identical arrival stream (the
+  // balancer name is part of fleet_key, but the arrival stream is seeded
+  // from config fields the balancer does not touch -- same seed, same mix,
+  // same rate -- so every balancer sees the same (time, class) sequence).
+  std::vector<BalancerRun> runs;
+  for (const std::string name :
+       {"round-robin", "join-shortest-queue", "thermal-aware"}) {
+    fleet::FleetConfig cfg = base;
+    cfg.balancer = name;
+    bench::StopWatch clock;
+    BalancerRun run;
+    run.name = name;
+    run.result = fleet::run_fleet(cfg);
+    run.wall_ms = clock.elapsed_ms();
+    runs.push_back(std::move(run));
+  }
+
+  // Determinism leg: the thermal-aware run again at jobs=1 and jobs=8 must
+  // produce byte-identical node summaries (the fleet sharding contract).
+  fleet::FleetConfig det = base;
+  det.balancer = "thermal-aware";
+  det.jobs = 1;
+  const std::string csv_jobs1 = fleet::run_fleet(det).node_summary_csv();
+  det.jobs = 8;
+  const std::string csv_jobs8 = fleet::run_fleet(det).node_summary_csv();
+  const bool bit_identical = csv_jobs1 == csv_jobs8;
+
+  const auto find = [&](const char* name) -> const BalancerRun& {
+    for (const auto& r : runs) {
+      if (r.name == name) return r;
+    }
+    std::cerr << "bench_fleet: missing run " << name << "\n";
+    std::exit(1);
+  };
+  const BalancerRun& rr = find("round-robin");
+  const BalancerRun& jsq = find("join-shortest-queue");
+  const BalancerRun& ta = find("thermal-aware");
+
+  const auto max_peak = [](const BalancerRun& r) { return r.result.max_node_peak_c; };
+  const bool ta_all_below = max_peak(ta) <= kCeilingC;
+  const bool rr_exceeds = max_peak(rr) > kCeilingC;
+  const bool p99_ok = jsq.result.p99_latency_ms > 0.0 &&
+                      ta.result.p99_latency_ms <=
+                          kP99FactorVsJsq * jsq.result.p99_latency_ms;
+  const bool pass = ta_all_below && rr_exceeds && p99_ok && bit_identical;
+
+  bench::JsonWriter json;
+  json.kv("schema", "coolpim-bench-fleet/1");
+  json.kv("quick", quick);
+  json.kv("nodes", static_cast<std::uint64_t>(base.nodes));
+  json.kv("duration_ms", base.duration_ms);
+  json.kv("arrival_rate_per_s", base.arrival_rate_per_s);
+  json.kv("rack_spread_c", base.rack_ambient_spread_c);
+  json.kv("ceiling_c", kCeilingC);
+  json.begin_array("balancers");
+  for (const auto& r : runs) {
+    json.begin_object();
+    json.kv("balancer", r.name);
+    json.kv("wall_ms", r.wall_ms);
+    json.kv("arrived", r.result.arrived);
+    json.kv("served", r.result.served);
+    json.kv("shed", r.result.shed);
+    json.kv("deferrals", r.result.deferrals);
+    json.kv("p50_latency_ms", r.result.p50_latency_ms);
+    json.kv("p99_latency_ms", r.result.p99_latency_ms);
+    json.kv("agg_op_per_ns", r.result.agg_op_per_ns());
+    json.kv("max_node_peak_c", r.result.max_node_peak_c);
+    json.kv("total_warnings", r.result.total_warnings);
+    json.begin_array("nodes");
+    for (const auto& n : r.result.nodes) {
+      json.begin_object();
+      json.kv("index", static_cast<std::uint64_t>(n.index));
+      json.kv("served", n.served);
+      json.kv("warnings", n.warnings);
+      json.kv("peak_c", n.peak_c);
+      json.kv("busy_ms", n.busy_ms);
+      json.end();
+    }
+    json.end();
+    json.end();
+  }
+  json.end();
+  json.begin_object("gate");
+  json.kv("thermal_aware_max_peak_c", max_peak(ta));
+  json.kv("round_robin_max_peak_c", max_peak(rr));
+  json.kv("jsq_p99_latency_ms", jsq.result.p99_latency_ms);
+  json.kv("thermal_aware_p99_latency_ms", ta.result.p99_latency_ms);
+  json.kv("thermal_aware_all_below_ceiling", ta_all_below);
+  json.kv("round_robin_exceeds_ceiling", rr_exceeds);
+  json.kv("p99_within_factor_of_jsq", p99_ok);
+  json.kv("jobs_bit_identical", bit_identical);
+  json.kv("pass", pass);
+  json.end();
+  json.end();
+  const std::string doc = json.str();
+
+  if (!bench::write_text_file(out, doc)) {
+    std::cerr << "bench_fleet: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << doc;
+  for (const auto& r : runs) {
+    std::cout << r.name << ": max peak " << max_peak(r) << " C, p99 "
+              << r.result.p99_latency_ms << " ms, served " << r.result.served << "/"
+              << r.result.arrived << " (shed " << r.result.shed << ")\n";
+  }
+  std::cout << "Gate: TA " << max_peak(ta) << " C all-below=" << ta_all_below
+            << ", RR " << max_peak(rr) << " C exceeds=" << rr_exceeds
+            << ", p99 " << ta.result.p99_latency_ms << " vs JSQ "
+            << jsq.result.p99_latency_ms << " ms ok=" << p99_ok
+            << ", bit-identical=" << bit_identical << " -> "
+            << (pass ? "PASS" : "FAIL") << "\n"
+            << "Results written to " << out << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+#include "fleet/arrivals.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coolpim::fleet {
+
+PoissonArrivals::PoissonArrivals(double rate_per_s, double horizon_ms, std::size_t profiles,
+                                 std::vector<double> mix, std::uint64_t seed)
+    : rate_per_ms_{rate_per_s / 1e3}, horizon_ms_{horizon_ms}, rng_{seed} {
+  COOLPIM_REQUIRE(rate_per_s > 0.0, "arrival rate must be positive");
+  COOLPIM_REQUIRE(profiles > 0, "arrival mix needs at least one profile");
+  if (mix.empty()) mix.assign(profiles, 1.0);
+  COOLPIM_REQUIRE(mix.size() == profiles, "mix weight count must match profile count");
+  double total = 0.0;
+  for (const double w : mix) {
+    COOLPIM_REQUIRE(w >= 0.0, "mix weights must be non-negative");
+    total += w;
+  }
+  COOLPIM_REQUIRE(total > 0.0, "mix weights must not all be zero");
+  cumulative_.reserve(mix.size());
+  double cum = 0.0;
+  for (const double w : mix) {
+    cum += w / total;
+    cumulative_.push_back(cum);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding in the final bucket
+}
+
+std::optional<Arrival> PoissonArrivals::next() {
+  // Inverse-CDF exponential gap; 1 - u in (0, 1] keeps log() finite.
+  const double gap_ms = -std::log(1.0 - rng_.next_double()) / rate_per_ms_;
+  clock_ms_ += gap_ms;
+  if (clock_ms_ >= horizon_ms_) return std::nullopt;
+  const double u = rng_.next_double();
+  std::uint32_t profile = 0;
+  while (profile + 1 < cumulative_.size() && u >= cumulative_[profile]) ++profile;
+  return Arrival{clock_ms_, profile};
+}
+
+TraceArrivals::TraceArrivals(std::vector<Arrival> schedule) : schedule_{std::move(schedule)} {
+  for (std::size_t i = 1; i < schedule_.size(); ++i) {
+    COOLPIM_REQUIRE(schedule_[i].time_ms >= schedule_[i - 1].time_ms,
+                    "arrival trace must be time-sorted");
+  }
+}
+
+std::optional<Arrival> TraceArrivals::next() {
+  if (cursor_ >= schedule_.size()) return std::nullopt;
+  return schedule_[cursor_++];
+}
+
+std::vector<Arrival> load_trace(const std::string& path,
+                                const std::vector<ServiceProfile>& profiles) {
+  std::ifstream in{path};
+  COOLPIM_REQUIRE(in.is_open(), "cannot open arrival trace '" + path + "'");
+  std::vector<Arrival> schedule;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.find(',');
+    COOLPIM_REQUIRE(comma != std::string::npos,
+                    path + ":" + std::to_string(lineno) + ": expected 'time_ms,workload'");
+    const std::string time_text = line.substr(0, comma);
+    const std::string workload = line.substr(comma + 1);
+    if (lineno == 1 && time_text == "time_ms") continue;  // optional header
+    char* end = nullptr;
+    const double t = std::strtod(time_text.c_str(), &end);
+    COOLPIM_REQUIRE(end != time_text.c_str() && *end == '\0' && t >= 0.0,
+                    path + ":" + std::to_string(lineno) + ": bad timestamp '" + time_text + "'");
+    std::uint32_t profile = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (profiles[i].workload == workload) {
+        profile = static_cast<std::uint32_t>(i);
+        found = true;
+        break;
+      }
+    }
+    COOLPIM_REQUIRE(found, path + ":" + std::to_string(lineno) + ": unknown workload '" +
+                               workload + "'");
+    schedule.push_back(Arrival{t, profile});
+  }
+  return schedule;
+}
+
+}  // namespace coolpim::fleet

@@ -1,0 +1,79 @@
+// Open-loop arrival processes for the fleet tier.
+//
+// An ArrivalProcess yields a monotone stream of (time, request-class) pairs
+// up to the configured horizon; the fleet loop drains everything that lands
+// inside the current epoch.  Arrivals are *open-loop*: the generator never
+// looks at queue depths or node state, so offered load is an experiment
+// input, not a feedback artifact -- the property that makes saturation and
+// thermal-DoS scenarios expressible (docs/FLEET.md).
+//
+// Determinism: PoissonArrivals draws from its own seeded Rng (seed derived
+// from the fleet experiment key), so the stream is a pure function of the
+// config -- identical at any --jobs value and across platforms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/request.hpp"
+
+namespace coolpim::fleet {
+
+/// One generated arrival: fleet-clock timestamp plus request class.
+struct Arrival {
+  double time_ms{0.0};
+  std::uint32_t profile{0};
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Next arrival in nondecreasing time order, or nullopt when the stream is
+  /// exhausted (past the horizon / end of trace).
+  [[nodiscard]] virtual std::optional<Arrival> next() = 0;
+};
+
+/// Memoryless Poisson arrivals at `rate_per_s`, request classes drawn from a
+/// weighted mix.  Inter-arrival gaps are sampled by inverse CDF from the
+/// seeded Rng; the class of each request is drawn from the same stream, so
+/// one seed fixes the entire (time, class) sequence.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  /// `mix` holds one non-negative weight per profile (normalized internally;
+  /// empty = uniform over `profiles` classes).
+  PoissonArrivals(double rate_per_s, double horizon_ms, std::size_t profiles,
+                  std::vector<double> mix, std::uint64_t seed);
+
+  [[nodiscard]] std::optional<Arrival> next() override;
+
+ private:
+  double rate_per_ms_;
+  double horizon_ms_;
+  std::vector<double> cumulative_;  // normalized cumulative mix weights
+  Rng rng_;
+  double clock_ms_{0.0};
+};
+
+/// Replay of an explicit arrival schedule (time-sorted).  load_trace() reads
+/// the two-column CSV `time_ms,workload` and resolves workload names against
+/// the profile table; unknown names and non-monotone timestamps throw.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<Arrival> schedule);
+
+  [[nodiscard]] std::optional<Arrival> next() override;
+
+ private:
+  std::vector<Arrival> schedule_;
+  std::size_t cursor_{0};
+};
+
+/// Parse a replay trace CSV against `profiles` (see TraceArrivals).
+[[nodiscard]] std::vector<Arrival> load_trace(const std::string& path,
+                                              const std::vector<ServiceProfile>& profiles);
+
+}  // namespace coolpim::fleet

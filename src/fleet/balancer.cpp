@@ -1,0 +1,101 @@
+#include "fleet/balancer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coolpim::fleet {
+
+namespace {
+
+class RoundRobin final : public Balancer {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "round-robin"; }
+
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 const Request& /*req*/) override {
+    // Rotate through all positions once; skip non-admitting nodes so a full
+    // queue defers rather than sheds at the node boundary.
+    for (std::size_t tried = 0; tried < nodes.size(); ++tried) {
+      const std::size_t idx = cursor_++ % nodes.size();
+      if (nodes[idx].admitting) return idx;
+    }
+    return kDefer;
+  }
+
+ private:
+  std::size_t cursor_{0};
+};
+
+class JoinShortestQueue final : public Balancer {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "join-shortest-queue"; }
+
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 const Request& /*req*/) override {
+    std::size_t best = kDefer;
+    std::size_t best_len = 0;
+    for (const NodeView& n : nodes) {
+      // Strict < keeps ties on the lowest index (views arrive index-sorted).
+      if (n.admitting && (best == kDefer || n.queue_len < best_len)) {
+        best = n.index;
+        best_len = n.queue_len;
+      }
+    }
+    return best;
+  }
+};
+
+class ThermalAware final : public Balancer {
+ public:
+  explicit ThermalAware(BalancerConfig cfg) : cfg_{cfg} {}
+
+  [[nodiscard]] std::string_view name() const override { return "thermal-aware"; }
+
+  [[nodiscard]] std::size_t pick(const std::vector<NodeView>& nodes,
+                                 const Request& /*req*/) override {
+    std::size_t best = kDefer;
+    double best_score = 0.0;
+    for (const NodeView& n : nodes) {
+      if (!n.admitting) continue;
+      const double hot_c = std::max(0.0, n.temp_c - cfg_.temp_ref_c);
+      const double score = static_cast<double>(n.queue_len) + cfg_.temp_weight * hot_c +
+                           cfg_.warning_weight * n.warning_rate;
+      if (best == kDefer || score < best_score) {  // strict <: ties go low-index
+        best = n.index;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+ private:
+  BalancerConfig cfg_;
+};
+
+constexpr std::string_view kNames[] = {"round-robin", "join-shortest-queue", "thermal-aware"};
+
+}  // namespace
+
+std::string balancer_names() {
+  std::string out;
+  for (const auto n : kNames) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+bool balancer_known(std::string_view name) {
+  return std::find(std::begin(kNames), std::end(kNames), name) != std::end(kNames);
+}
+
+std::unique_ptr<Balancer> make_balancer(std::string_view name, const BalancerConfig& cfg) {
+  if (name == "round-robin") return std::make_unique<RoundRobin>();
+  if (name == "join-shortest-queue") return std::make_unique<JoinShortestQueue>();
+  if (name == "thermal-aware") return std::make_unique<ThermalAware>(cfg);
+  throw ConfigError("unknown balancer '" + std::string{name} +
+                    "' (registered: " + balancer_names() + ")");
+}
+
+}  // namespace coolpim::fleet

@@ -1,0 +1,68 @@
+// Fleet-tier request vocabulary: what a node serves and how it is costed.
+//
+// The fleet tier (docs/FLEET.md) drives N GPU+HMC nodes with an open-loop
+// stream of graph-query requests.  Each request references a ServiceProfile
+// -- a per-workload interval summary (service time, steady thermal rise, PIM
+// op count) derived either from real single-node `sys::System` runs
+// (profiles_from_runs) or from the built-in synthetic table used by tests
+// and --synthetic quick runs.  Nodes never re-execute the graph kernels at
+// fleet scale; they integrate these interval costs on a shared clock, which
+// is what makes thousand-node sweeps tractable (the CoMeT-style interval
+// loop, DESIGN.md section 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace coolpim::fleet {
+
+/// Interval cost summary of one workload class on one node.
+struct ServiceProfile {
+  std::string workload;
+  /// Full-speed service time of one request (ms); derated service divides
+  /// the node's speed, not this constant.
+  double service_ms{2.0};
+  /// Steady-state peak-DRAM rise above the node's idle ambient when the node
+  /// serves this workload back-to-back (degC).  Scaled by the node's busy
+  /// fraction each fleet epoch.
+  double heat_c{45.0};
+  /// PIM operations retired per request (aggregate-throughput accounting).
+  double pim_ops{1.0e6};
+
+  void feed(HashStream& h) const {
+    h.add(std::string_view{workload});
+    h.add(service_ms);
+    h.add(heat_c);
+    h.add(pim_ops);
+  }
+};
+
+/// One in-flight graph-query request.
+struct Request {
+  std::uint64_t id{0};
+  /// Index into FleetConfig::profiles.
+  std::uint32_t profile{0};
+  /// Open-loop arrival timestamp (fleet clock, ms).
+  double arrival_ms{0.0};
+  /// Admission-control retries so far (deferred epochs).
+  std::uint32_t defers{0};
+};
+
+/// Built-in synthetic profile table: four representative request classes with
+/// the qualitative spread of the paper's workload mix (a PIM-hot hub-heavy
+/// kernel, a mid-weight traversal, a light query, a long scan).  Used by the
+/// unit tests and `--synthetic` runs so the fleet tier is exercisable without
+/// building a WorkloadSet.
+[[nodiscard]] inline std::vector<ServiceProfile> synthetic_profiles() {
+  return {
+      {"pagerank-q", /*service_ms=*/3.0, /*heat_c=*/50.0, /*pim_ops=*/3.0e6},
+      {"bfs-q", /*service_ms=*/2.0, /*heat_c=*/42.0, /*pim_ops=*/1.5e6},
+      {"degree-q", /*service_ms=*/1.0, /*heat_c=*/35.0, /*pim_ops=*/0.5e6},
+      {"sssp-q", /*service_ms=*/4.0, /*heat_c=*/46.0, /*pim_ops=*/2.5e6},
+  };
+}
+
+}  // namespace coolpim::fleet

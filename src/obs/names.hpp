@@ -26,6 +26,7 @@ inline constexpr std::string_view kCatSys = "sys";
 inline constexpr std::string_view kCatRunner = "runner";
 inline constexpr std::string_view kCatFault = "fault";
 inline constexpr std::string_view kCatControl = "control";
+inline constexpr std::string_view kCatFleet = "fleet";
 
 // ---- Counters (monotonic event tallies) ------------------------------------
 // sim
@@ -76,6 +77,12 @@ inline constexpr std::string_view kFaultWatchdogDisengagements =
 inline constexpr std::string_view kControlLevelChanges = "control/level_changes";
 inline constexpr std::string_view kControlMpcRollouts = "control/mpc_rollouts";
 inline constexpr std::string_view kControlTableClamps = "control/table_clamps";
+// fleet (multi-node tier; emitted by fleet::run_fleet)
+inline constexpr std::string_view kFleetRequestsArrived = "fleet/requests_arrived";
+inline constexpr std::string_view kFleetRequestsServed = "fleet/requests_served";
+inline constexpr std::string_view kFleetRequestsShed = "fleet/requests_shed";
+inline constexpr std::string_view kFleetRequestsDeferred = "fleet/requests_deferred";
+inline constexpr std::string_view kFleetNodeWarnings = "fleet/node_warnings";
 
 // ---- Gauges (sampled instantaneous values) ---------------------------------
 inline constexpr std::string_view kGpuPimFraction = "gpu/pim_fraction";
@@ -84,11 +91,15 @@ inline constexpr std::string_view kThermalPeakLogicC = "thermal/peak_logic_c";
 inline constexpr std::string_view kSysPimRateGops = "sys/pim_rate_gops";
 inline constexpr std::string_view kSysLinkDataGbps = "sys/link_data_gbps";
 inline constexpr std::string_view kControlThrottleLevel = "control/throttle_level";
+inline constexpr std::string_view kFleetP50LatencyMs = "fleet/p50_latency_ms";
+inline constexpr std::string_view kFleetP99LatencyMs = "fleet/p99_latency_ms";
+inline constexpr std::string_view kFleetMaxNodePeakC = "fleet/max_node_peak_c";
+inline constexpr std::string_view kFleetAggOpPerNs = "fleet/agg_op_per_ns";
 
 // ---- Catalogues (docs-sync anchors) ----------------------------------------
 inline constexpr std::string_view kAllCategories[] = {
     kCatSim, kCatThermal, kCatCore, kCatHmc, kCatGpu, kCatSys, kCatRunner, kCatFault,
-    kCatControl,
+    kCatControl, kCatFleet,
 };
 
 inline constexpr std::string_view kAllCounters[] = {
@@ -130,11 +141,17 @@ inline constexpr std::string_view kAllCounters[] = {
     kControlLevelChanges,
     kControlMpcRollouts,
     kControlTableClamps,
+    kFleetRequestsArrived,
+    kFleetRequestsServed,
+    kFleetRequestsShed,
+    kFleetRequestsDeferred,
+    kFleetNodeWarnings,
 };
 
 inline constexpr std::string_view kAllGauges[] = {
-    kGpuPimFraction,  kThermalPeakDramC,    kThermalPeakLogicC,
-    kSysPimRateGops,  kSysLinkDataGbps,     kControlThrottleLevel,
+    kGpuPimFraction,    kThermalPeakDramC,  kThermalPeakLogicC, kSysPimRateGops,
+    kSysLinkDataGbps,   kControlThrottleLevel,
+    kFleetP50LatencyMs, kFleetP99LatencyMs, kFleetMaxNodePeakC, kFleetAggOpPerNs,
 };
 
 }  // namespace coolpim::obs::names

@@ -1,5 +1,6 @@
 #include "runner/pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -130,9 +131,20 @@ void Pool::wait() {
   }
 }
 
-void Pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, i] { fn(i); });
+void Pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                        std::size_t grain) {
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (std::size_t{4} * jobs_));
+  if (grain <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      submit([&fn, i] { fn(i); });
+    }
+  } else {
+    for (std::size_t start = 0; start < n; start += grain) {
+      const std::size_t stop = std::min(n, start + grain);
+      submit([&fn, start, stop] {
+        for (std::size_t i = start; i < stop; ++i) fn(i);
+      });
+    }
   }
   wait();
 }

@@ -50,8 +50,14 @@ class Pool {
   void wait();
 
   /// Run fn(0..n-1) across the pool and wait.  Convenience for fixed-size
-  /// sweeps (per-sink tables, per-scenario rows).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// sweeps (per-sink tables, per-scenario rows).  `grain` batches that many
+  /// consecutive indices into one task -- the fleet tier's per-epoch node
+  /// stepping submits thousands of sub-millisecond tasks per run, where
+  /// per-task submission overhead would dominate at grain 1.  Each task runs
+  /// its indices in order, so any grain is observationally identical for
+  /// independent iterations.  grain 0 = auto (roughly 4 tasks per worker).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   struct WorkerQueue {

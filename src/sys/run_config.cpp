@@ -66,6 +66,16 @@ const Knob kKnobs[] = {
      [](RunConfig& rc, std::string_view, const char* v) { rc.policy = v; }},
     {"COOLPIM_POLICY_TABLE", "--policy-table",
      [](RunConfig& rc, std::string_view, const char* v) { rc.policy_table_path = v; }},
+    {"COOLPIM_FLEET_NODES", "--fleet-nodes",
+     [](RunConfig& rc, std::string_view n, const char* v) {
+       rc.fleet_nodes = static_cast<unsigned>(parse_u64(n, v));
+     }},
+    {"COOLPIM_ARRIVAL_RATE", "--arrival-rate",
+     [](RunConfig& rc, std::string_view n, const char* v) {
+       rc.arrival_rate = parse_double(n, v);
+     }},
+    {"COOLPIM_BALANCER", "--balancer",
+     [](RunConfig& rc, std::string_view, const char* v) { rc.balancer = v; }},
     {"COOLPIM_FAULT_DROP", "--fault-drop",
      [](RunConfig& rc, std::string_view n, const char* v) {
        rc.fault.warning_drop_rate = parse_double(n, v);
@@ -112,6 +122,10 @@ const Knob kKnobs[] = {
 
 void RunConfig::validate() const {
   COOLPIM_REQUIRE(scale >= 8 && scale <= 24, "scale must be in [8, 24]");
+  COOLPIM_REQUIRE(fleet_nodes >= 1 && fleet_nodes <= 4096,
+                  "fleet-nodes must be in [1, 4096]");
+  COOLPIM_REQUIRE(arrival_rate > 0.0, "arrival-rate must be positive");
+  COOLPIM_REQUIRE(!balancer.empty(), "balancer must not be empty");
   if (!policy.empty()) {
     Scenario unused;
     COOLPIM_REQUIRE(control::policy_from_name(policy, unused),
@@ -203,6 +217,10 @@ std::string RunConfig::flags_help() {
          control::policy_names() +
          ")\n"
          "  --policy-table FILE  fitted policy-table CSV (policy-table only)\n"
+         "  --fleet-nodes N      fleet tier: GPU+HMC node count (1..4096)\n"
+         "  --arrival-rate R     fleet tier: open-loop arrivals per second\n"
+         "  --balancer NAME      fleet tier: round-robin, join-shortest-queue,\n"
+         "                       thermal-aware\n"
          "  --fault-drop R       warning drop probability [0,1]\n"
          "  --fault-corrupt R    ERRSTAT corruption probability [0,1]\n"
          "  --fault-spurious R   per-epoch spurious-warning probability [0,1]\n"

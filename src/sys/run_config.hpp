@@ -47,6 +47,16 @@ struct RunConfig {
   /// Fitted policy-table CSV for the policy-table controller
   /// (COOLPIM_POLICY_TABLE / --policy-table); empty = compiled-in default.
   std::string policy_table_path;
+  /// Fleet-tier knobs (docs/FLEET.md), consumed by fleet entry points only.
+  /// Node count (COOLPIM_FLEET_NODES / --fleet-nodes, range [1, 4096]).
+  unsigned fleet_nodes{8};
+  /// Open-loop Poisson arrival rate in requests/s (COOLPIM_ARRIVAL_RATE /
+  /// --arrival-rate, must be positive).
+  double arrival_rate{4000.0};
+  /// Fleet balancer by registered name (COOLPIM_BALANCER / --balancer).
+  /// Validated against the fleet registry by the fleet layer itself --
+  /// sys:: sits below fleet:: and must not link it.
+  std::string balancer{"thermal-aware"};
   /// Fault environment (COOLPIM_FAULT_* / --fault-*); default = fault-free.
   fault::FaultConfig fault{};
 

@@ -173,11 +173,54 @@ TEST(RunConfigTest, FlagsHelpMentionsEveryFlag) {
   const std::string help = RunConfig::flags_help();
   for (const char* flag :
        {"--jobs", "--scale", "--graph-seed", "--trace", "--counters",
-        "--profile-cache", "--fault-drop", "--fault-corrupt", "--fault-spurious",
-        "--fault-delay-us", "--fault-noise-c", "--fault-quant-c", "--fault-stuck",
-        "--fault-outage", "--fault-watchdog", "--fault-enable"}) {
+        "--profile-cache", "--policy", "--policy-table", "--fleet-nodes",
+        "--arrival-rate", "--balancer", "--fault-drop", "--fault-corrupt",
+        "--fault-spurious", "--fault-delay-us", "--fault-noise-c", "--fault-quant-c",
+        "--fault-stuck", "--fault-outage", "--fault-watchdog", "--fault-enable"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag << " missing from help";
   }
+}
+
+TEST(RunConfigTest, FleetKnobDefaults) {
+  const RunConfig rc;
+  EXPECT_EQ(rc.fleet_nodes, 8u);
+  EXPECT_DOUBLE_EQ(rc.arrival_rate, 4000.0);
+  EXPECT_EQ(rc.balancer, "thermal-aware");
+}
+
+TEST(RunConfigTest, FleetKnobsResolveFromCliAndEnvironment) {
+  ScopedEnv nodes{"COOLPIM_FLEET_NODES", "16"};
+  ScopedEnv balancer{"COOLPIM_BALANCER", "round-robin"};
+  Args args{{"--arrival-rate", "2500.5", "--balancer", "join-shortest-queue"}};
+  const RunConfig rc = RunConfig::resolve(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.fleet_nodes, 16u);                    // env over default
+  EXPECT_DOUBLE_EQ(rc.arrival_rate, 2500.5);         // CLI over default
+  EXPECT_EQ(rc.balancer, "join-shortest-queue");     // CLI over env
+  EXPECT_TRUE(args.remaining().empty());
+}
+
+TEST(RunConfigTest, FleetKnobValidation) {
+  {
+    Args args{{"--fleet-nodes", "0"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--fleet-nodes", "5000"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--arrival-rate", "0"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--balancer", ""}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  // The balancer *vocabulary* is validated by the fleet layer, not sys::
+  // (layering: sys must not link fleet) -- any non-empty name passes here.
+  Args args{{"--balancer", "not-yet-registered"}};
+  const RunConfig rc = RunConfig::from_args(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.balancer, "not-yet-registered");
 }
 
 }  // namespace

@@ -109,6 +109,39 @@ SCHEMAS = {
         "gate.throughput_at_least_reactive": bool,
         "gate.pass": bool,
     },
+    "coolpim-bench-fleet/1": {
+        "quick": bool,
+        "nodes": NUM,
+        "duration_ms": NUM,
+        "arrival_rate_per_s": NUM,
+        "rack_spread_c": NUM,
+        "ceiling_c": NUM,
+        "balancers[].balancer": str,
+        "balancers[].wall_ms": NUM,
+        "balancers[].arrived": NUM,
+        "balancers[].served": NUM,
+        "balancers[].shed": NUM,
+        "balancers[].deferrals": NUM,
+        "balancers[].p50_latency_ms": NUM,
+        "balancers[].p99_latency_ms": NUM,
+        "balancers[].agg_op_per_ns": NUM,
+        "balancers[].max_node_peak_c": NUM,
+        "balancers[].total_warnings": NUM,
+        "balancers[].nodes[].index": NUM,
+        "balancers[].nodes[].served": NUM,
+        "balancers[].nodes[].warnings": NUM,
+        "balancers[].nodes[].peak_c": NUM,
+        "balancers[].nodes[].busy_ms": NUM,
+        "gate.thermal_aware_max_peak_c": NUM,
+        "gate.round_robin_max_peak_c": NUM,
+        "gate.jsq_p99_latency_ms": NUM,
+        "gate.thermal_aware_p99_latency_ms": NUM,
+        "gate.thermal_aware_all_below_ceiling": bool,
+        "gate.round_robin_exceeds_ceiling": bool,
+        "gate.p99_within_factor_of_jsq": bool,
+        "gate.jobs_bit_identical": bool,
+        "gate.pass": bool,
+    },
     "coolpim-bench-sim/1": {
         "quick": bool,
         "queue.events": NUM,

@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links in the repo's docs resolve to files.
+"""Check that relative markdown links in the repo's docs resolve.
 
 Scans the given markdown files (default: every tracked *.md plus docs/) for
-inline links and images `[text](target)`, skips external URLs and pure
-anchors, and verifies each relative target exists on disk. Exits non-zero
-listing every broken link. Stdlib only; run from anywhere:
+inline links and images `[text](target)`, skips external URLs, and verifies:
+
+  * each relative target exists on disk,
+  * each fragment (`file.md#section` or same-file `#section`) matches a
+    heading anchor in the target file, using GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+    suffixed -1, -2, ...).
+
+Exits non-zero listing every broken link or anchor. Stdlib only; run from
+anywhere:
 
     python3 tools/check_md_links.py [FILE.md ...]
 """
@@ -18,13 +25,51 @@ REPO = Path(__file__).resolve().parent.parent
 # Inline links/images. Deliberately simple: no reference-style links in this
 # repo, and nested parens in URLs don't occur in relative paths.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def md_files():
     found = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("**/*.md"))
     return [p for p in found if p.is_file()]
+
+
+def slugify(heading):
+    """GitHub-style anchor slug for a heading line (backticks dropped,
+    non-alphanumerics stripped, spaces and hyphens kept as hyphens)."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path, cache={}):
+    """All anchor slugs defined in a markdown file (with -N dedup suffixes)."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    in_code = False
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        cache[path] = anchors
+        return anchors
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
 
 
 def check_file(path):
@@ -41,12 +86,14 @@ def check_file(path):
             target = m.group(1)
             if target.startswith(SKIP_PREFIXES) or target.startswith("<"):
                 continue
-            rel = target.split("#", 1)[0]
-            if not rel:
-                continue
-            resolved = (path.parent / rel).resolve()
+            rel, _, fragment = target.partition("#")
+            resolved = (path.parent / rel).resolve() if rel else path
             if not resolved.exists():
-                broken.append((lineno, target))
+                broken.append((lineno, target, "missing file"))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved):
+                    broken.append((lineno, target, "missing anchor"))
     return broken
 
 
@@ -54,13 +101,13 @@ def main(argv):
     files = [Path(a).resolve() for a in argv[1:]] or md_files()
     failures = 0
     for path in files:
-        for lineno, target in check_file(path):
-            print(f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}")
+        for lineno, target, why in check_file(path):
+            print(f"{path.relative_to(REPO)}:{lineno}: {why} -> {target}")
             failures += 1
     if failures:
         print(f"{failures} broken markdown link(s)", file=sys.stderr)
         return 1
-    print(f"checked {len(files)} markdown file(s): all relative links resolve")
+    print(f"checked {len(files)} markdown file(s): links and anchors resolve")
     return 0
 
 
