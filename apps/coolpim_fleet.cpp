@@ -121,6 +121,14 @@ int main(int argc, char** argv) {
   cfg.jobs = opt.rc.jobs;
   cfg.counter_mark_every = opt.mark_every;
   cfg.profiles = opt.synthetic ? fleet::synthetic_profiles() : measured_profiles(opt);
+  if (opt.rc.stack_layers > 0) {
+    // Grid fidelity: every node is one lane of a batched 3-D stack solve
+    // (docs/PERFORMANCE.md section 7).  16-high and taller uses the ADI
+    // kernel -- that is the geometry the explicit stable dt collapses on.
+    cfg.thermal = fleet::ThermalFidelity::kGrid;
+    cfg.grid.dram_dies = opt.rc.stack_layers;
+    cfg.grid.use_adi = opt.rc.stack_layers >= 16;
+  }
 
   obs::RunObserver observer;
   const bool observing = !opt.rc.trace_path.empty() || !opt.rc.counters_path.empty();

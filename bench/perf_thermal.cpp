@@ -17,14 +17,17 @@
 // timed windows, same schema).  No thresholds are enforced here; the JSON is
 // schema-checked by tools/check_bench.py and ratios are judged by humans.
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <iostream>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "hmc/config.hpp"
 #include "power/cooling.hpp"
 #include "power/energy_model.hpp"
+#include "thermal/batch_stack_model.hpp"
 #include "thermal/hmc_thermal.hpp"
 #include "thermal/stack_model.hpp"
 
@@ -176,6 +179,160 @@ SteadyResult measure_steady(bool quick) {
   return r;
 }
 
+// ---- Batched sweeps: lane-cell-substep throughput at batch 1 vs 8 vs 64 on
+// the same HMC 2.0 stack, plus an in-run per-lane bit-identity gate against
+// the scalar reference kernel.
+
+struct BatchWidthResult {
+  std::uint64_t lanes;
+  double ns_per_lane_cell_substep;
+  double cells_substeps_per_sec;
+};
+
+struct BatchResult {
+  std::uint64_t nodes;
+  std::uint64_t substeps_per_step;
+  BatchWidthResult widths[3];
+  double speedup_64_vs_1;
+  bool bit_identical;
+};
+
+BatchResult measure_batch(bool quick) {
+  const int windows = quick ? 3 : 7;
+  const double window_sec = quick ? 0.02 : 0.12;
+  const Time dt = Time::us(10.0);
+
+  auto probe = make_model(power::CoolingType::kCommodityServer, 320.0);
+  const thermal::StackSpec spec = probe.stack().spec();
+
+  BatchResult r{};
+  r.nodes = probe.stack().node_count();
+  r.substeps_per_step = probe.stack().substeps_for(dt);
+
+  const std::size_t kWidths[3] = {1, 8, 64};
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t lanes = kWidths[i];
+    thermal::BatchStackModel batch{spec, lanes};
+    // Distinct per-lane state (ambient gradient + power spread) so no lane
+    // is a trivially shared cache line.
+    for (std::size_t v = 0; v < lanes; ++v) {
+      batch.set_lane_ambient(v, Celsius{25.0 + 0.1 * static_cast<double>(v)});
+      batch.set_layer_power_uniform(v, 0, 8.0 + 0.05 * static_cast<double>(v));
+      batch.set_layer_power_uniform(v, batch.layer_count() - 1, 2.0);
+    }
+    batch.reset_to_ambient();
+    const std::uint64_t work = r.nodes * r.substeps_per_step * lanes;
+    std::uint64_t steps = 0;
+    r.widths[i].lanes = lanes;
+    r.widths[i].ns_per_lane_cell_substep =
+        time_steps([&] { batch.step(dt); }, windows, window_sec, work, &steps);
+    r.widths[i].cells_substeps_per_sec = 1e9 / r.widths[i].ns_per_lane_cell_substep;
+  }
+  r.speedup_64_vs_1 =
+      r.widths[0].ns_per_lane_cell_substep / r.widths[2].ns_per_lane_cell_substep;
+
+  // In-run gate: every lane of a mixed-power batch must equal a scalar
+  // StackModel driven through the retained reference sweep, exactly.
+  const std::size_t check_lanes = 4;
+  thermal::BatchStackModel batch{spec, check_lanes};
+  std::vector<thermal::StackModel> scalars;
+  for (std::size_t v = 0; v < check_lanes; ++v) {
+    thermal::StackSpec lane_spec = spec;
+    lane_spec.ambient = Celsius{25.0 + 2.0 * static_cast<double>(v)};
+    scalars.emplace_back(lane_spec);
+    batch.set_lane_ambient(v, lane_spec.ambient);
+    const double logic_w = 6.0 + 1.5 * static_cast<double>(v);
+    const thermal::PowerMap logic = thermal::uniform_power(spec.floorplan, logic_w);
+    batch.set_layer_power(v, 0, logic);
+    scalars[v].set_layer_power(0, logic);
+  }
+  batch.reset_to_ambient();
+  for (auto& s : scalars) s.reset_to_ambient();
+  r.bit_identical = true;
+  for (int s = 0; s < 16; ++s) {
+    batch.step(dt);
+    for (auto& sc : scalars) sc.step_reference(dt);
+  }
+  for (std::size_t v = 0; v < check_lanes; ++v) {
+    for (std::size_t l = 0; l < batch.layer_count(); ++l) {
+      for (std::size_t c = 0; c < batch.cells_per_layer(); ++c) {
+        if (batch.cell_temp(v, l, c).value() != scalars[v].cell_temp(l, c).value()) {
+          r.bit_identical = false;
+        }
+      }
+    }
+    if (batch.sink_temp(v).value() != scalars[v].sink_temp().value()) r.bit_identical = false;
+  }
+  return r;
+}
+
+// ---- Tall stack: 16-high HBM geometry where the explicit stable dt
+// collapses; the ADI kernel takes 32x-larger substeps and must stay within
+// the documented tolerance of the explicit reference advanced over the same
+// horizon (DESIGN.md section 13).
+
+struct TallStackResult {
+  std::uint64_t layers;
+  std::uint64_t nodes;
+  double explicit_stable_dt_us;
+  std::uint64_t explicit_substeps_per_step;
+  std::uint64_t adi_substeps_per_step;
+  double explicit_ms;
+  double adi_ms;
+  double speedup;
+  double max_abs_error_k;
+  double tolerance_k;
+  bool within_tolerance;
+};
+
+TallStackResult measure_tall_stack(bool quick) {
+  thermal::StackSpec spec = thermal::hbm_stack_spec(16, 12, 10);
+  // Interval-simulation heat-capacity scaling (as HmcThermalConfig): settle
+  // fast enough to bench while preserving the geometry and stencil.
+  for (auto& l : spec.layers) l.volumetric_heat_capacity *= 0.05;
+  spec.sink_heat_capacity *= 0.05;
+
+  thermal::BatchOptions adi_opt;
+  adi_opt.kernel = thermal::TransientKernel::kAdi;
+  thermal::BatchStackModel adi{spec, 1, adi_opt};
+  thermal::BatchStackModel explicit_ref{spec, 1};
+
+  const Time dt = Time::sec(adi.stable_step().as_sec() * 32.0);
+  for (auto* m : {&adi, &explicit_ref}) {
+    m->set_layer_power_uniform(0, 0, 10.0);
+    m->set_layer_power_uniform(0, 16, 2.0);
+    m->reset_to_ambient();
+  }
+
+  TallStackResult r{};
+  r.layers = adi.layer_count();
+  r.nodes = adi.node_count();
+  r.explicit_stable_dt_us = explicit_ref.stable_step().as_sec() * 1e6;
+  r.explicit_substeps_per_step = explicit_ref.substeps_for(dt);
+  r.adi_substeps_per_step = adi.substeps_for(dt);
+
+  const int steps = quick ? 40 : 120;
+  double max_err = 0.0;
+  double max_rise = 0.0;
+  bench::StopWatch adi_clock;
+  for (int s = 0; s < steps; ++s) adi.step(dt);
+  r.adi_ms = adi_clock.elapsed_ms();
+  bench::StopWatch ex_clock;
+  for (int s = 0; s < steps; ++s) explicit_ref.step(dt);
+  r.explicit_ms = ex_clock.elapsed_ms();
+  for (std::size_t l = 0; l < adi.layer_count(); ++l) {
+    const double want = explicit_ref.layer_peak(0, l).value();
+    max_rise = std::max(max_rise, want - spec.ambient.value());
+    max_err = std::max(max_err, std::abs(adi.layer_peak(0, l).value() - want));
+  }
+  r.speedup = r.explicit_ms / r.adi_ms;
+  r.max_abs_error_k = max_err;
+  // DESIGN.md section 13: 2% of the explicit temperature rise at this dt.
+  r.tolerance_k = 0.02 * max_rise;
+  r.within_tolerance = max_err <= r.tolerance_k;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,9 +341,11 @@ int main(int argc, char** argv) {
 
   const TransientResult t = measure_transient(quick);
   const SteadyResult s = measure_steady(quick);
+  const BatchResult b = measure_batch(quick);
+  const TallStackResult tall = measure_tall_stack(quick);
 
   bench::JsonWriter json;
-  json.kv("schema", "coolpim-bench-thermal/1");
+  json.kv("schema", "coolpim-bench-thermal/2");
   json.kv("quick", quick);
   json.begin_object("transient");
   json.kv("nodes", t.nodes);
@@ -206,6 +365,31 @@ int main(int argc, char** argv) {
   json.kv("cold_ms", s.cold_ms);
   json.kv("warm_ms", s.warm_ms);
   json.end();
+  json.begin_object("batch");
+  json.kv("nodes", b.nodes);
+  json.kv("substeps_per_step", b.substeps_per_step);
+  json.kv("b1_ns_per_lane_cell_substep", b.widths[0].ns_per_lane_cell_substep);
+  json.kv("b1_cells_substeps_per_sec", b.widths[0].cells_substeps_per_sec);
+  json.kv("b8_ns_per_lane_cell_substep", b.widths[1].ns_per_lane_cell_substep);
+  json.kv("b8_cells_substeps_per_sec", b.widths[1].cells_substeps_per_sec);
+  json.kv("b64_ns_per_lane_cell_substep", b.widths[2].ns_per_lane_cell_substep);
+  json.kv("b64_cells_substeps_per_sec", b.widths[2].cells_substeps_per_sec);
+  json.kv("speedup_b64_vs_b1", b.speedup_64_vs_1);
+  json.kv("bit_identical", b.bit_identical);
+  json.end();
+  json.begin_object("tall_stack");
+  json.kv("layers", tall.layers);
+  json.kv("nodes", tall.nodes);
+  json.kv("explicit_stable_dt_us", tall.explicit_stable_dt_us);
+  json.kv("explicit_substeps_per_step", tall.explicit_substeps_per_step);
+  json.kv("adi_substeps_per_step", tall.adi_substeps_per_step);
+  json.kv("explicit_ms", tall.explicit_ms);
+  json.kv("adi_ms", tall.adi_ms);
+  json.kv("speedup", tall.speedup);
+  json.kv("max_abs_error_k", tall.max_abs_error_k);
+  json.kv("tolerance_k", tall.tolerance_k);
+  json.kv("within_tolerance", tall.within_tolerance);
+  json.end();
   const std::string doc = json.str();
 
   if (!bench::write_text_file(out, doc)) {
@@ -218,6 +402,14 @@ int main(int argc, char** argv) {
             << "x, bit-identical=" << (t.bit_identical ? "yes" : "NO") << ")\n"
             << "Steady sweep:    " << s.warm_iterations << " iters warm-started vs "
             << s.cold_iterations << " cold (" << s.iteration_reduction << "x fewer)\n"
+            << "Batched sweep:   " << b.widths[2].cells_substeps_per_sec / 1e6
+            << " M cells*substeps/s at batch 64 vs " << b.widths[0].cells_substeps_per_sec / 1e6
+            << " at batch 1 (" << b.speedup_64_vs_1
+            << "x, bit-identical=" << (b.bit_identical ? "yes" : "NO") << ")\n"
+            << "Tall stack:      ADI " << tall.adi_ms << " ms vs explicit " << tall.explicit_ms
+            << " ms (" << tall.speedup << "x, max err " << tall.max_abs_error_k << " K, tol "
+            << tall.tolerance_k << " K, within=" << (tall.within_tolerance ? "yes" : "NO")
+            << ")\n"
             << "Results written to " << out << "\n";
-  return t.bit_identical ? 0 : 2;
+  return (t.bit_identical && b.bit_identical && tall.within_tolerance) ? 0 : 2;
 }

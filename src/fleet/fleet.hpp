@@ -35,6 +35,50 @@
 
 namespace coolpim::fleet {
 
+/// How node temperatures integrate each epoch (fleet step 2).
+enum class ThermalFidelity {
+  /// Historical first-order RC pull toward the load-weighted target
+  /// (Node::step); cheapest, and the identity baseline for all goldens.
+  kRc,
+  /// Full 3-D stack grids: every node is one lane of a single
+  /// thermal::BatchStackModel, and the whole rack advances as one
+  /// lane-major SoA batch per epoch (docs/PERFORMANCE.md section 7).
+  kGrid,
+};
+
+/// Grid-fidelity sub-config.  Read -- and hashed into fleet_key() -- only
+/// when FleetConfig::thermal == ThermalFidelity::kGrid, so kRc experiment
+/// keys and goldens are byte-identical to before this knob existed.
+struct GridThermalConfig {
+  /// Stack geometry: hbm_stack_spec(dram_dies, grid_nx, grid_ny).
+  std::size_t dram_dies{8};
+  std::size_t grid_nx{8};
+  std::size_t grid_ny{8};
+  /// Logic-die watts injected per degC of the node's RC load signal
+  /// (heat_weighted_ms / epoch_ms).  ~0.9 maps the RC steady target onto the
+  /// grid's junction-to-ambient resistance for the default HBM geometry.
+  double watts_per_c{0.9};
+  /// Heat-capacity scaling (the interval-simulation compression trick):
+  /// shrinks the stack's seconds-scale thermal constant to fleet-epoch
+  /// scale so transients resolve within a run.
+  double heat_capacity_scale{0.045};
+  /// Transient kernel: explicit Euler (per-lane bit-exact vs the scalar
+  /// reference) or the unconditionally stable ADI line solver for tall
+  /// stacks / fine grids.
+  bool use_adi{false};
+  double adi_dt_factor{32.0};
+
+  void feed(HashStream& h) const {
+    h.add(static_cast<std::uint64_t>(dram_dies));
+    h.add(static_cast<std::uint64_t>(grid_nx));
+    h.add(static_cast<std::uint64_t>(grid_ny));
+    h.add(watts_per_c);
+    h.add(heat_capacity_scale);
+    h.add(static_cast<std::uint64_t>(use_adi ? 1 : 0));
+    h.add(adi_dt_factor);
+  }
+};
+
 struct FleetConfig {
   /// Node count (--fleet-nodes / COOLPIM_FLEET_NODES).
   std::size_t nodes{4};
@@ -44,6 +88,11 @@ struct FleetConfig {
   /// node.ambient_c + rack_ambient_spread_c * i / (nodes - 1).  Models the
   /// hot end of a rack / a poorly-cooled chassis position.
   double rack_ambient_spread_c{0.0};
+
+  /// Node thermal integration fidelity (default keeps the RC model and all
+  /// existing keys/goldens); grid settings apply only under kGrid.
+  ThermalFidelity thermal{ThermalFidelity::kRc};
+  GridThermalConfig grid{};
 
   /// Request classes (must be non-empty) and their Poisson mix weights
   /// (empty = uniform; ignored for trace replay).

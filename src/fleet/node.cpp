@@ -42,6 +42,15 @@ void Node::start_next(double /*now_ms*/) {
 }
 
 void Node::step(double now_ms, double dt_ms) {
+  const double heat_weighted_ms = serve(now_ms, dt_ms);
+  // First-order RC pull toward the load-weighted steady target.  Exact
+  // exponential decay keeps the integration stable at any epoch length.
+  const double target_c = cfg_.ambient_c + heat_weighted_ms / dt_ms;
+  const double alpha = 1.0 - std::exp(-dt_ms / cfg_.tau_ms);
+  finish_epoch(temp_c_ + alpha * (target_c - temp_c_));
+}
+
+double Node::serve(double now_ms, double dt_ms) {
   double remaining = dt_ms;
   double busy_ms = 0.0;
   double heat_weighted_ms = 0.0;  // integral of heat_c over busy time
@@ -72,11 +81,12 @@ void Node::step(double now_ms, double dt_ms) {
     }
   }
 
-  // First-order RC pull toward the load-weighted steady target.  Exact
-  // exponential decay keeps the integration stable at any epoch length.
-  const double target_c = cfg_.ambient_c + heat_weighted_ms / dt_ms;
-  const double alpha = 1.0 - std::exp(-dt_ms / cfg_.tau_ms);
-  temp_c_ += alpha * (target_c - temp_c_);
+  summary_.busy_ms += busy_ms;
+  return heat_weighted_ms;
+}
+
+void Node::finish_epoch(double temp_c) {
+  temp_c_ = temp_c;
   peak_c_ = std::max(peak_c_, temp_c_);
 
   // ERRSTAT-style warning stream: one warning per epoch spent at or above
@@ -86,7 +96,6 @@ void Node::step(double now_ms, double dt_ms) {
   if (hot) ++summary_.warnings;
   warning_rate_ += cfg_.warning_ewma_alpha * ((hot ? 1.0 : 0.0) - warning_rate_);
 
-  summary_.busy_ms += busy_ms;
   summary_.peak_c = peak_c_;
   summary_.final_c = temp_c_;
 }

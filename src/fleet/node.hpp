@@ -101,7 +101,20 @@ class Node {
 
   /// Advance one fleet epoch [now_ms, now_ms + dt_ms): serve, heat, tally.
   /// Touches only this node's state (safe to run concurrently across nodes).
+  /// Composed of serve() + the built-in first-order RC update + finish_epoch;
+  /// the grid-fidelity fleet path (fleet.hpp ThermalFidelity::kGrid) calls
+  /// the pieces itself, replacing the RC update with a BatchStackModel lane.
   void step(double now_ms, double dt_ms);
+
+  /// Serve queued requests for one epoch and return the heat-weighted busy
+  /// time (integral of profile heat_c over busy ms).  First half of step();
+  /// touches only this node's state.
+  double serve(double now_ms, double dt_ms);
+
+  /// Commit this epoch's temperature (degC, peak-DRAM convention) computed
+  /// by an external thermal model: updates peak tracking, the warning tally
+  /// and the EWMA warning rate.  Second half of step().
+  void finish_epoch(double temp_c);
 
   [[nodiscard]] NodeView view() const;
   [[nodiscard]] NodeSummary summary() const;

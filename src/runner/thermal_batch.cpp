@@ -1,0 +1,47 @@
+#include "runner/thermal_batch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "runner/pool.hpp"
+
+namespace coolpim::runner {
+
+std::vector<ThermalLaneResult> run_batch_thermal(const thermal::StackSpec& spec,
+                                                 const std::vector<ThermalLane>& lanes,
+                                                 Time dt, std::size_t steps,
+                                                 const ThermalBatchOptions& opt) {
+  COOLPIM_REQUIRE(opt.batch >= 1, "thermal batch width must be >= 1");
+  std::vector<ThermalLaneResult> results(lanes.size());
+  if (lanes.empty()) return results;
+
+  const std::size_t n_groups = (lanes.size() + opt.batch - 1) / opt.batch;
+  Pool pool{opt.jobs};
+  pool.parallel_for(n_groups, [&](std::size_t group) {
+    const std::size_t first = group * opt.batch;
+    const std::size_t count = std::min(opt.batch, lanes.size() - first);
+    thermal::BatchStackModel model{spec, count, opt.kernel};
+    for (std::size_t v = 0; v < count; ++v) {
+      const ThermalLane& lane = lanes[first + v];
+      model.set_lane_ambient(v, lane.ambient);
+      for (std::size_t l = 0; l < lane.layer_power.size(); ++l) {
+        model.set_layer_power(v, l, lane.layer_power[l]);
+      }
+    }
+    model.reset_to_ambient();
+    for (std::size_t s = 0; s < steps; ++s) model.step(dt);
+    for (std::size_t v = 0; v < count; ++v) {
+      ThermalLaneResult& out = results[first + v];
+      out.layer_peak_c.resize(model.layer_count());
+      out.layer_mean_c.resize(model.layer_count());
+      for (std::size_t l = 0; l < model.layer_count(); ++l) {
+        out.layer_peak_c[l] = model.layer_peak(v, l).value();
+        out.layer_mean_c[l] = model.layer_mean(v, l).value();
+      }
+      out.sink_c = model.sink_temp(v).value();
+    }
+  });
+  return results;
+}
+
+}  // namespace coolpim::runner

@@ -1,0 +1,52 @@
+// Sweep-scale batched thermal solving: group independent same-geometry
+// thermal tasks into thermal::BatchStackModel lanes and advance each group
+// with one SoA sweep per substep, sharded over the work-stealing pool.
+//
+// This is the runner-side wiring of the batched solver (docs/PERFORMANCE.md
+// section 7): a sweep that needs N transient settles no longer pays N scalar
+// solves -- lanes are packed `opt.batch` at a time and each batch model is
+// one pool task.  Per-lane results are independent of both the batch width
+// and the job count: the explicit kernel's arithmetic never mixes lanes
+// (bit-identity contract, DESIGN.md section 13), and the pool only decides
+// which thread runs which group.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "thermal/batch_stack_model.hpp"
+
+namespace coolpim::runner {
+
+/// One independent thermal task: per-layer power maps (missing layers mean
+/// zero power) and the lane's ambient.
+struct ThermalLane {
+  std::vector<thermal::PowerMap> layer_power;
+  Celsius ambient{25.0};
+};
+
+/// Per-lane transient result after `steps` steps of `dt`.
+struct ThermalLaneResult {
+  std::vector<double> layer_peak_c;
+  std::vector<double> layer_mean_c;
+  double sink_c{0.0};
+};
+
+struct ThermalBatchOptions {
+  /// Lanes per BatchStackModel (the SoA vector width).  8 doubles = one
+  /// cache line per node; 64 amortizes the conductance broadcast further.
+  std::size_t batch{8};
+  /// Pool width; 0 = Pool::default_jobs(), 1 = caller's thread.
+  unsigned jobs{1};
+  thermal::BatchOptions kernel{};
+};
+
+/// Settle every lane over `steps` transient steps of `dt` against the shared
+/// `spec` geometry and return per-lane reductions, in input order.  Results
+/// are identical for any `opt.batch` and `opt.jobs`.
+[[nodiscard]] std::vector<ThermalLaneResult> run_batch_thermal(
+    const thermal::StackSpec& spec, const std::vector<ThermalLane>& lanes, Time dt,
+    std::size_t steps, const ThermalBatchOptions& opt = {});
+
+}  // namespace coolpim::runner

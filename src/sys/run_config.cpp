@@ -76,6 +76,14 @@ const Knob kKnobs[] = {
      }},
     {"COOLPIM_BALANCER", "--balancer",
      [](RunConfig& rc, std::string_view, const char* v) { rc.balancer = v; }},
+    {"COOLPIM_THERMAL_BATCH", "--thermal-batch",
+     [](RunConfig& rc, std::string_view n, const char* v) {
+       rc.thermal_batch = static_cast<unsigned>(parse_u64(n, v));
+     }},
+    {"COOLPIM_STACK_LAYERS", "--stack-layers",
+     [](RunConfig& rc, std::string_view n, const char* v) {
+       rc.stack_layers = static_cast<unsigned>(parse_u64(n, v));
+     }},
     {"COOLPIM_FAULT_DROP", "--fault-drop",
      [](RunConfig& rc, std::string_view n, const char* v) {
        rc.fault.warning_drop_rate = parse_double(n, v);
@@ -126,6 +134,9 @@ void RunConfig::validate() const {
                   "fleet-nodes must be in [1, 4096]");
   COOLPIM_REQUIRE(arrival_rate > 0.0, "arrival-rate must be positive");
   COOLPIM_REQUIRE(!balancer.empty(), "balancer must not be empty");
+  COOLPIM_REQUIRE(thermal_batch >= 1 && thermal_batch <= 4096,
+                  "thermal-batch must be in [1, 4096]");
+  COOLPIM_REQUIRE(stack_layers <= 64, "stack-layers must be in [0, 64]");
   if (!policy.empty()) {
     Scenario unused;
     COOLPIM_REQUIRE(control::policy_from_name(policy, unused),
@@ -221,6 +232,9 @@ std::string RunConfig::flags_help() {
          "  --arrival-rate R     fleet tier: open-loop arrivals per second\n"
          "  --balancer NAME      fleet tier: round-robin, join-shortest-queue,\n"
          "                       thermal-aware\n"
+         "  --thermal-batch N    batched-solver lanes per SoA sweep (1..4096)\n"
+         "  --stack-layers N     DRAM dies in the stack geometry (0 = entry\n"
+         "                       point default, up to 64; 16 = HBM-class tall)\n"
          "  --fault-drop R       warning drop probability [0,1]\n"
          "  --fault-corrupt R    ERRSTAT corruption probability [0,1]\n"
          "  --fault-spurious R   per-epoch spurious-warning probability [0,1]\n"

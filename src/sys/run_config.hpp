@@ -57,6 +57,16 @@ struct RunConfig {
   /// Validated against the fleet registry by the fleet layer itself --
   /// sys:: sits below fleet:: and must not link it.
   std::string balancer{"thermal-aware"};
+  /// Batched-thermal-solver lane width (COOLPIM_THERMAL_BATCH /
+  /// --thermal-batch, range [1, 4096]); how many independent thermal grids a
+  /// BatchStackModel advances per SoA sweep pass (docs/PERFORMANCE.md
+  /// section 7).
+  unsigned thermal_batch{8};
+  /// DRAM die count for the stack geometry (COOLPIM_STACK_LAYERS /
+  /// --stack-layers, range [0, 64]); 0 keeps the entry point's default
+  /// geometry, >0 selects an hbm_stack_spec-style stack that tall (16-high
+  /// is the HBM-class geometry where the ADI kernel earns its keep).
+  unsigned stack_layers{0};
   /// Fault environment (COOLPIM_FAULT_* / --fault-*); default = fault-free.
   fault::FaultConfig fault{};
 

@@ -21,67 +21,92 @@ void StackSpec::validate() const {
   }
 }
 
-StackModel::StackModel(StackSpec spec) : spec_{std::move(spec)} {
-  spec_.validate();
-  n_cells_ = spec_.floorplan.grid.cells();
-  n_nodes_ = n_cells_ * spec_.layers.size();
-  // Ghost-padded field: one layer-sized block of ambient cells before and
-  // after the live nodes, so neighbour reads at +/-1, +/-nx and +/-n_cells
-  // stay in-bounds at every boundary.
-  temp_.assign(n_nodes_ + 2 * n_cells_, spec_.ambient.as_kelvin());
-  scratch_.assign(n_nodes_ + 2 * n_cells_, spec_.ambient.as_kelvin());
-  sink_temp_k_ = spec_.ambient.as_kelvin();
-  power_w_.assign(n_nodes_, 0.0);
-  stats_.resize(spec_.layers.size());
-  build_network();
+StackSpec hbm_stack_spec(std::size_t dram_dies, std::size_t grid_nx, std::size_t grid_ny) {
+  COOLPIM_REQUIRE(dram_dies >= 1, "HBM stack needs at least one DRAM die");
+  StackSpec spec;
+  spec.floorplan.die_width_m = 11.0e-3;   // HBM-class ~92 mm^2 footprint
+  spec.floorplan.die_height_m = 8.4e-3;
+  spec.floorplan.vaults_x = 8;
+  spec.floorplan.vaults_y = 4;
+  spec.floorplan.grid.nx = grid_nx;
+  spec.floorplan.grid.ny = grid_ny;
+
+  LayerSpec logic;
+  logic.name = "logic";
+  logic.thickness_m = 100e-6;
+  logic.conductivity = 120.0;
+  logic.interface_r_above = 4.5e-6;
+  spec.layers.push_back(logic);
+  for (std::size_t d = 0; d < dram_dies; ++d) {
+    LayerSpec dram;
+    dram.name = "dram" + std::to_string(d);
+    dram.thickness_m = 50e-6;  // thinned core dies, tall-stack bonding
+    dram.conductivity = 120.0;
+    dram.interface_r_above = 4.5e-6;
+    spec.layers.push_back(dram);
+  }
+  spec.tim_r = 5.0e-6;
+  spec.sink_r = ThermalResistance{0.7};
+  spec.sink_heat_capacity = 2.0;
+  spec.board_r = 20.0;
+  return spec;
 }
 
-void StackModel::build_network() {
-  const auto& fp = spec_.floorplan;
+StackNetwork StackNetwork::build(const StackSpec& spec) {
+  const auto& fp = spec.floorplan;
   const std::size_t nx = fp.grid.nx;
   const std::size_t ny = fp.grid.ny;
   const double cw = fp.cell_width_m();
   const double ch = fp.cell_height_m();
   const double area = fp.cell_area_m2();
-  const std::size_t n_layers = spec_.layers.size();
+  const std::size_t n_layers = spec.layers.size();
 
-  g_east_.assign(n_nodes_, 0.0);
-  g_west_.assign(n_nodes_, 0.0);
-  g_north_.assign(n_nodes_, 0.0);
-  g_south_.assign(n_nodes_, 0.0);
-  g_up_.assign(n_nodes_, 0.0);
-  g_down_.assign(n_nodes_, 0.0);
-  g_sink_.assign(n_nodes_, 0.0);
-  g_board_.assign(n_nodes_, 0.0);
-  g_diag_.assign(n_nodes_, 0.0);
-  cap_.assign(n_nodes_, 0.0);
+  StackNetwork net;
+  net.n_cells = fp.grid.cells();
+  net.n_nodes = net.n_cells * n_layers;
+  const std::size_t n_cells = net.n_cells;
+  const std::size_t n_nodes = net.n_nodes;
+  const auto node = [n_cells](std::size_t layer, std::size_t cell) {
+    return layer * n_cells + cell;
+  };
+
+  net.g_east.assign(n_nodes, 0.0);
+  net.g_west.assign(n_nodes, 0.0);
+  net.g_north.assign(n_nodes, 0.0);
+  net.g_south.assign(n_nodes, 0.0);
+  net.g_up.assign(n_nodes, 0.0);
+  net.g_down.assign(n_nodes, 0.0);
+  net.g_sink.assign(n_nodes, 0.0);
+  net.g_board.assign(n_nodes, 0.0);
+  net.g_diag.assign(n_nodes, 0.0);
+  net.cap.assign(n_nodes, 0.0);
 
   for (std::size_t l = 0; l < n_layers; ++l) {
-    const auto& layer = spec_.layers[l];
+    const auto& layer = spec.layers[l];
     const double t = layer.thickness_m;
     const double k = layer.conductivity;
     for (std::size_t y = 0; y < ny; ++y) {
       for (std::size_t x = 0; x < nx; ++x) {
         const std::size_t nidx = node(l, fp.grid.index(x, y));
-        cap_[nidx] = layer.volumetric_heat_capacity * area * t;
+        net.cap[nidx] = layer.volumetric_heat_capacity * area * t;
         // Lateral conduction through the die cross-section.
-        if (x + 1 < nx) g_east_[nidx] = k * t * ch / cw;
-        if (y + 1 < ny) g_north_[nidx] = k * t * cw / ch;
+        if (x + 1 < nx) net.g_east[nidx] = k * t * ch / cw;
+        if (y + 1 < ny) net.g_north[nidx] = k * t * cw / ch;
         // Vertical conduction: half-die + interface + half-die above.
         if (l + 1 < n_layers) {
-          const auto& above = spec_.layers[l + 1];
+          const auto& above = spec.layers[l + 1];
           const double r = t / (2.0 * k) + layer.interface_r_above +
                            above.thickness_m / (2.0 * above.conductivity);
-          g_up_[nidx] = area / r;
+          net.g_up[nidx] = area / r;
         } else {
           // Top layer couples to the lumped sink node through half-die + TIM.
-          const double r = t / (2.0 * k) + spec_.tim_r;
-          g_sink_[nidx] = area / r;
+          const double r = t / (2.0 * k) + spec.tim_r;
+          net.g_sink[nidx] = area / r;
         }
         if (l == 0) {
           // Bottom layer leaks into the board: bulk resistance shared by all
           // bottom cells.
-          g_board_[nidx] = 1.0 / (spec_.board_r * static_cast<double>(n_cells_));
+          net.g_board[nidx] = 1.0 / (spec.board_r * static_cast<double>(n_cells));
         }
       }
     }
@@ -94,9 +119,9 @@ void StackModel::build_network() {
     for (std::size_t y = 0; y < ny; ++y) {
       for (std::size_t x = 0; x < nx; ++x) {
         const std::size_t nidx = node(l, fp.grid.index(x, y));
-        if (x > 0) g_west_[nidx] = g_east_[nidx - 1];
-        if (y > 0) g_south_[nidx] = g_north_[nidx - nx];
-        if (l > 0) g_down_[nidx] = g_up_[nidx - n_cells_];
+        if (x > 0) net.g_west[nidx] = net.g_east[nidx - 1];
+        if (y > 0) net.g_south[nidx] = net.g_north[nidx - nx];
+        if (l > 0) net.g_down[nidx] = net.g_up[nidx - n_cells];
       }
     }
   }
@@ -107,31 +132,62 @@ void StackModel::build_network() {
   // so the wrapped reads land on exact zeros -- the mirror arrays above hold
   // the same values).  Reading one array at two offsets instead of two
   // arrays halves the conductance cache traffic of the hot loop.
-  const auto pad = [this](const std::vector<double>& src, std::vector<double>& dst) {
-    dst.assign(n_cells_ + n_nodes_, 0.0);
-    std::copy(src.begin(), src.end(), dst.begin() + static_cast<std::ptrdiff_t>(n_cells_));
+  const auto pad = [&](const std::vector<double>& src, std::vector<double>& dst) {
+    dst.assign(n_cells + n_nodes, 0.0);
+    std::copy(src.begin(), src.end(), dst.begin() + static_cast<std::ptrdiff_t>(n_cells));
   };
-  pad(g_east_, g_east_pad_);
-  pad(g_north_, g_north_pad_);
-  pad(g_up_, g_up_pad_);
+  pad(net.g_east, net.g_east_pad);
+  pad(net.g_north, net.g_north_pad);
+  pad(net.g_up, net.g_up_pad);
 
   // Accumulate per-node incident conductance for diag / stability.
-  for (std::size_t i = 0; i < n_nodes_; ++i) {
-    g_diag_[i] = g_up_[i] + g_sink_[i] + g_board_[i] + g_east_[i] + g_west_[i] + g_north_[i] +
-                 g_south_[i] + g_down_[i];
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    net.g_diag[i] = net.g_up[i] + net.g_sink[i] + net.g_board[i] + net.g_east[i] +
+                    net.g_west[i] + net.g_north[i] + net.g_south[i] + net.g_down[i];
   }
 
-  g_sink_ambient_ = 1.0 / spec_.sink_r.value();
-  sink_g_total_ = g_sink_ambient_;
-  for (const auto g : g_sink_) sink_g_total_ += g;
+  net.g_sink_ambient = 1.0 / spec.sink_r.value();
+  net.sink_g_total = net.g_sink_ambient;
+  for (const auto g : net.g_sink) net.sink_g_total += g;
 
   // Stable explicit-Euler step: dt < min_i C_i / G_i (with safety margin).
-  double dt_min = spec_.sink_heat_capacity / sink_g_total_;
-  for (std::size_t i = 0; i < n_nodes_; ++i) {
-    dt_min = std::min(dt_min, cap_[i] / g_diag_[i]);
+  double dt_min = spec.sink_heat_capacity / net.sink_g_total;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    dt_min = std::min(dt_min, net.cap[i] / net.g_diag[i]);
   }
-  stable_dt_ = Time::sec(0.5 * dt_min);
-  COOLPIM_ASSERT(stable_dt_ > Time::zero());
+  net.stable_dt = Time::sec(0.5 * dt_min);
+  COOLPIM_ASSERT(net.stable_dt > Time::zero());
+  return net;
+}
+
+std::size_t StackNetwork::substeps_for(Time dt) const {
+  COOLPIM_REQUIRE(dt > Time::zero(), "transient step must be positive");
+  const double n = std::ceil(dt.as_sec() / stable_dt.as_sec());
+  // Fail loudly on the tall-stack/fine-grid collapse: an explicit step that
+  // needs millions of substeps is a hang masquerading as progress.  The ADI
+  // kernel (BatchStackModel, TransientKernel::kAdi) is unconditionally
+  // stable and exists for exactly this regime.
+  COOLPIM_REQUIRE(n <= static_cast<double>(kMaxTransientSubsteps),
+                  "explicit transient step needs " + std::to_string(n) +
+                      " substeps (> kMaxTransientSubsteps); stable dt has collapsed -- "
+                      "shorten the step or use the ADI kernel "
+                      "(thermal::TransientKernel::kAdi)");
+  return static_cast<std::size_t>(n);
+}
+
+StackModel::StackModel(StackSpec spec) : spec_{std::move(spec)} {
+  spec_.validate();
+  n_cells_ = spec_.floorplan.grid.cells();
+  n_nodes_ = n_cells_ * spec_.layers.size();
+  // Ghost-padded field: one layer-sized block of ambient cells before and
+  // after the live nodes, so neighbour reads at +/-1, +/-nx and +/-n_cells
+  // stay in-bounds at every boundary.
+  temp_.assign(n_nodes_ + 2 * n_cells_, spec_.ambient.as_kelvin());
+  scratch_.assign(n_nodes_ + 2 * n_cells_, spec_.ambient.as_kelvin());
+  sink_temp_k_ = spec_.ambient.as_kelvin();
+  power_w_.assign(n_nodes_, 0.0);
+  stats_.resize(spec_.layers.size());
+  net_ = StackNetwork::build(spec_);
 }
 
 void StackModel::set_layer_power(std::size_t layer, const PowerMap& power) {
@@ -188,13 +244,13 @@ std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters,
 
     // Sink node first (Gauss-Seidel: uses the freshest neighbour values).
     {
-      double num = g_sink_ambient_ * ambient_k + spec_.co_heater_watts;
+      double num = net_.g_sink_ambient * ambient_k + spec_.co_heater_watts;
       const double* top = T + static_cast<std::ptrdiff_t>((n_layers - 1) * n_cells_);
-      const double* gs = g_sink_.data() + static_cast<std::ptrdiff_t>((n_layers - 1) * n_cells_);
+      const double* gs = net_.g_sink.data() + static_cast<std::ptrdiff_t>((n_layers - 1) * n_cells_);
       for (std::ptrdiff_t c = 0; c < nc; ++c) {
         num += gs[c] * top[c];
       }
-      const double t_new = num / sink_g_total_;
+      const double t_new = num / net_.sink_g_total;
       max_delta = std::max(max_delta, std::abs(t_new - sink_temp_k_));
       sink_temp_k_ = t_new;
     }
@@ -205,17 +261,17 @@ std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters,
     for (std::ptrdiff_t i = 0; i < n; ++i) {
       const double* Ti = T + i;
       double num = power_w_[static_cast<std::size_t>(i)];
-      num += g_east_[static_cast<std::size_t>(i)] * Ti[1];
-      num += g_west_[static_cast<std::size_t>(i)] * Ti[-1];
-      num += g_north_[static_cast<std::size_t>(i)] * Ti[nx];
-      num += g_south_[static_cast<std::size_t>(i)] * Ti[-nx];
-      num += g_up_[static_cast<std::size_t>(i)] * Ti[nc];
-      num += g_down_[static_cast<std::size_t>(i)] * Ti[-nc];
-      num += g_sink_[static_cast<std::size_t>(i)] * sink_temp_k_;
-      num += g_board_[static_cast<std::size_t>(i)] * ambient_k;
+      num += net_.g_east[static_cast<std::size_t>(i)] * Ti[1];
+      num += net_.g_west[static_cast<std::size_t>(i)] * Ti[-1];
+      num += net_.g_north[static_cast<std::size_t>(i)] * Ti[nx];
+      num += net_.g_south[static_cast<std::size_t>(i)] * Ti[-nx];
+      num += net_.g_up[static_cast<std::size_t>(i)] * Ti[nc];
+      num += net_.g_down[static_cast<std::size_t>(i)] * Ti[-nc];
+      num += net_.g_sink[static_cast<std::size_t>(i)] * sink_temp_k_;
+      num += net_.g_board[static_cast<std::size_t>(i)] * ambient_k;
 
       const double t_old = *Ti;
-      const double t_gs = num / g_diag_[static_cast<std::size_t>(i)];
+      const double t_gs = num / net_.g_diag[static_cast<std::size_t>(i)];
       const double t_new = t_old + omega * (t_gs - t_old);
       max_delta = std::max(max_delta, std::abs(t_new - t_old));
       T[i] = t_new;
@@ -234,10 +290,7 @@ std::size_t StackModel::solve_steady(double tolerance_k, std::size_t max_iters,
   return iter + 1;
 }
 
-std::size_t StackModel::substeps_for(Time dt) const {
-  COOLPIM_REQUIRE(dt > Time::zero(), "transient step must be positive");
-  return static_cast<std::size_t>(std::ceil(dt.as_sec() / stable_dt_.as_sec()));
-}
+std::size_t StackModel::substeps_for(Time dt) const { return net_.substeps_for(dt); }
 
 namespace {
 
@@ -335,12 +388,12 @@ void StackModel::step(Time dt) {
   const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(n_cells_);
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(n_nodes_);
   const double* pw = power_w_.data();
-  const double* ge = g_east_pad_.data() + nc;  // ge[i-1] is the west link
-  const double* gn = g_north_pad_.data() + nc;
-  const double* gu = g_up_pad_.data() + nc;
-  const double* gsk = g_sink_.data();
-  const double* gb = g_board_.data();
-  const double* cap = cap_.data();
+  const double* ge = net_.g_east_pad.data() + nc;  // ge[i-1] is the west link
+  const double* gn = net_.g_north_pad.data() + nc;
+  const double* gu = net_.g_up_pad.data() + nc;
+  const double* gsk = net_.g_sink.data();
+  const double* gb = net_.g_board.data();
+  const double* cap = net_.cap.data();
   const std::ptrdiff_t top = n - nc;
 
   const std::size_t n_layers = spec_.layers.size();
@@ -349,7 +402,7 @@ void StackModel::step(Time dt) {
     const double* T = temp_.data() + nc;
     double* N = scratch_.data() + nc;
     const double sink_t = sink_temp_k_;
-    double sink_flow = g_sink_ambient_ * (ambient_k - sink_t) + spec_.co_heater_watts;
+    double sink_flow = net_.g_sink_ambient * (ambient_k - sink_t) + spec_.co_heater_watts;
     for (std::size_t l = 0; l + 1 < n_layers; ++l) {
       const std::ptrdiff_t base = static_cast<std::ptrdiff_t>(l) * nc;
       // Per-layer uniform conductances, read once from the tables (cell 0
@@ -399,26 +452,26 @@ void StackModel::step_reference(Time dt) {
 
   std::vector<double> next(n_nodes_);
   for (std::size_t s = 0; s < n_sub; ++s) {
-    double sink_flow = g_sink_ambient_ * (ambient_k - sink_temp_k_) + spec_.co_heater_watts;
+    double sink_flow = net_.g_sink_ambient * (ambient_k - sink_temp_k_) + spec_.co_heater_watts;
     for (std::size_t l = 0; l < n_layers; ++l) {
       for (std::size_t y = 0; y < ny; ++y) {
         for (std::size_t x = 0; x < nx; ++x) {
           const std::size_t nidx = node(l, fp.grid.index(x, y));
           const double t = T[nidx];
           double flow = power_w_[nidx];
-          if (x + 1 < nx) flow += g_east_[nidx] * (T[nidx + 1] - t);
-          if (x > 0) flow += g_west_[nidx] * (T[nidx - 1] - t);
-          if (y + 1 < ny) flow += g_north_[nidx] * (T[nidx + nx] - t);
-          if (y > 0) flow += g_south_[nidx] * (T[nidx - nx] - t);
-          if (l + 1 < n_layers) flow += g_up_[nidx] * (T[nidx + n_cells_] - t);
-          if (l > 0) flow += g_down_[nidx] * (T[nidx - n_cells_] - t);
-          if (g_sink_[nidx] > 0.0) {
-            const double f = g_sink_[nidx] * (sink_temp_k_ - t);
+          if (x + 1 < nx) flow += net_.g_east[nidx] * (T[nidx + 1] - t);
+          if (x > 0) flow += net_.g_west[nidx] * (T[nidx - 1] - t);
+          if (y + 1 < ny) flow += net_.g_north[nidx] * (T[nidx + nx] - t);
+          if (y > 0) flow += net_.g_south[nidx] * (T[nidx - nx] - t);
+          if (l + 1 < n_layers) flow += net_.g_up[nidx] * (T[nidx + n_cells_] - t);
+          if (l > 0) flow += net_.g_down[nidx] * (T[nidx - n_cells_] - t);
+          if (net_.g_sink[nidx] > 0.0) {
+            const double f = net_.g_sink[nidx] * (sink_temp_k_ - t);
             flow += f;
             sink_flow -= f;
           }
-          flow += g_board_[nidx] * (ambient_k - t);
-          next[nidx] = t + h * flow / cap_[nidx];
+          flow += net_.g_board[nidx] * (ambient_k - t);
+          next[nidx] = t + h * flow / net_.cap[nidx];
         }
       }
     }

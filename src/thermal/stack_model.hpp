@@ -71,6 +71,61 @@ struct StackSpec {
   void validate() const;
 };
 
+/// HBM-class stack: `dram_dies` thin DRAM dies over one logic die on an
+/// nx x ny grid.  The 16-high variant with a fine grid is the multi-stack
+/// geometry of the HBM thermal-vulnerability literature; its explicit-Euler
+/// stable dt collapses with cell area, which is what the ADI kernel of
+/// BatchStackModel exists for (docs/PERFORMANCE.md section 7).
+[[nodiscard]] StackSpec hbm_stack_spec(std::size_t dram_dies, std::size_t grid_nx,
+                                       std::size_t grid_ny);
+
+/// Ceiling on the explicit-Euler substep count a single step()/step_reference()
+/// call may take.  Tall stacks on fine grids shrink the stable dt quadratically
+/// with cell area; silently looping tens of millions of substeps behind one
+/// step() call is a hang, not a simulation.  substeps_for() throws ConfigError
+/// past this bound and names the ADI kernel as the way out.
+inline constexpr std::size_t kMaxTransientSubsteps = std::size_t{1} << 22;
+
+/// The flat-stencil RC network compiled from a StackSpec: per-node
+/// neighbour-conductance tables (zero where the neighbour does not exist),
+/// mirrored west/south/down views, ghost-padded offset copies for the
+/// branch-free sweeps, heat capacities, the lumped-sink coupling and the
+/// explicit-Euler stable step.  Shared verbatim by StackModel (one grid) and
+/// BatchStackModel (N lanes over one network), so the two solvers cannot
+/// drift apart on stencil construction.
+struct StackNetwork {
+  std::size_t n_cells{0};
+  std::size_t n_nodes{0};
+
+  std::vector<double> g_east;    // node -> node+1 in x
+  std::vector<double> g_west;    // node -> node-1 in x
+  std::vector<double> g_north;   // node -> node+nx in y
+  std::vector<double> g_south;   // node -> node-nx in y
+  std::vector<double> g_up;      // node -> node one layer up
+  std::vector<double> g_down;    // node -> node one layer down
+  // Offset-padded sweep views: same values with n_cells leading zeros, so a
+  // transient kernel reads east/west (north/south, up/down) pairs from one
+  // array at offsets i and i-1 (i-nx, i-n_cells).
+  std::vector<double> g_east_pad;
+  std::vector<double> g_north_pad;
+  std::vector<double> g_up_pad;
+  std::vector<double> g_sink;    // top-layer cells -> sink node
+  std::vector<double> g_board;   // bottom-layer cells -> ambient
+  std::vector<double> g_diag;    // sum of incident conductances per node
+  double g_sink_ambient{0.0};
+  double sink_g_total{0.0};
+
+  std::vector<double> cap;       // heat capacities (J/K)
+  Time stable_dt{Time::zero()};
+
+  [[nodiscard]] static StackNetwork build(const StackSpec& spec);
+
+  /// Explicit-Euler substeps needed to advance `dt` stably.  Throws
+  /// ConfigError when dt is non-positive or the count would exceed
+  /// kMaxTransientSubsteps (the tall-stack/fine-grid collapse case).
+  [[nodiscard]] std::size_t substeps_for(Time dt) const;
+};
+
 /// Initial field for a steady-state solve.
 ///  - kWarm (default) iterates from the current temperature field unchanged;
 ///    this is the historical behaviour and is what in-run re-solves (e.g. the
@@ -114,8 +169,14 @@ class StackModel {
   /// equivalence-test oracle and the perf-bench baseline.
   void step_reference(Time dt);
 
-  /// Sub-steps step()/step_reference() perform for a given dt.
+  /// Sub-steps step()/step_reference() perform for a given dt.  Throws
+  /// ConfigError (never silently loops) when the count would exceed
+  /// kMaxTransientSubsteps -- see StackNetwork::substeps_for.
   [[nodiscard]] std::size_t substeps_for(Time dt) const;
+
+  /// The compiled stencil network (read-only; BatchStackModel shares the
+  /// same construction path).
+  [[nodiscard]] const StackNetwork& network() const { return net_; }
 
   /// Reset all temperatures to ambient.
   void reset_to_ambient();
@@ -135,7 +196,7 @@ class StackModel {
   [[nodiscard]] std::vector<double> layer_field(std::size_t layer) const;
 
   /// Largest stable explicit-Euler step for the current conductances.
-  [[nodiscard]] Time stable_step() const { return stable_dt_; }
+  [[nodiscard]] Time stable_step() const { return net_.stable_dt; }
 
  private:
   /// Per-layer reductions, computed lazily in one pass over the field.
@@ -144,7 +205,6 @@ class StackModel {
     double mean_k;
   };
 
-  void build_network();
   [[nodiscard]] std::size_t node(std::size_t layer, std::size_t cell) const {
     return layer * cells_per_layer() + cell;
   }
@@ -171,31 +231,9 @@ class StackModel {
   // Power per node (watts).
   std::vector<double> power_w_;
 
-  // Flat-stencil conductance tables (W/K), one entry per node, zero where
-  // the neighbour does not exist.  g_west/g_south/g_down are the mirrored
-  // views of the owning neighbour's east/north/up conductance so the sweep
-  // needs no index adjustment.
-  std::vector<double> g_east_;    // node -> node+1 in x
-  std::vector<double> g_west_;    // node -> node-1 in x
-  std::vector<double> g_north_;   // node -> node+nx in y
-  std::vector<double> g_south_;   // node -> node-nx in y
-  std::vector<double> g_up_;      // node -> node one layer up
-  std::vector<double> g_down_;    // node -> node one layer down
-  // Offset-padded sweep views: same values with n_cells leading zeros, so
-  // the transient kernel reads east/west (north/south, up/down) pairs from
-  // one array at offsets i and i-1 (i-nx, i-n_cells).
-  std::vector<double> g_east_pad_;
-  std::vector<double> g_north_pad_;
-  std::vector<double> g_up_pad_;
-  std::vector<double> g_sink_;    // top-layer cells -> sink node
-  std::vector<double> g_board_;   // bottom-layer cells -> ambient
-  std::vector<double> g_diag_;    // sum of incident conductances per node
-  double g_sink_ambient_{0.0};
-  double sink_g_total_{0.0};
-
-  // Heat capacities (J/K).
-  std::vector<double> cap_;
-  Time stable_dt_{Time::zero()};
+  // The compiled stencil: conductance tables, capacities, sink coupling and
+  // the stable step, shared by construction with BatchStackModel.
+  StackNetwork net_;
 
   // Solve history for the kWarmScaled extrapolation: the converged fields
   // and total dissipated watts of the last two steady solves.  watts <= 0

@@ -290,6 +290,109 @@ TEST(FleetTest, JobsOneAndEightAreBitIdentical) {
   EXPECT_EQ(one.max_node_peak_c, eight.max_node_peak_c);
 }
 
+FleetConfig grid_fleet() {
+  FleetConfig cfg = small_fleet();
+  cfg.thermal = ThermalFidelity::kGrid;
+  cfg.grid.dram_dies = 2;
+  // Smallest grid that still resolves the HBM floorplan's 8x4 vaults.
+  cfg.grid.grid_nx = 8;
+  cfg.grid.grid_ny = 4;
+  cfg.duration_ms = 60.0;
+  return cfg;
+}
+
+TEST(FleetTest, GridFidelityServesAndHeatsAboveAmbient) {
+  const FleetConfig cfg = grid_fleet();
+  const FleetResult r = run_fleet(cfg);
+  EXPECT_GT(r.arrived, 0u);
+  EXPECT_GT(r.served, 0u);
+  EXPECT_EQ(r.arrived, r.served + r.shed + r.in_flight);
+  // Loaded nodes must heat above their idle ambient through the stack grid.
+  EXPECT_GT(r.max_node_peak_c, cfg.node.ambient_c);
+  for (const NodeSummary& n : r.nodes) EXPECT_GE(n.final_c, cfg.node.ambient_c - 1e-9);
+}
+
+TEST(FleetTest, GridFidelityBitIdenticalAcrossJobsAndKernels) {
+  for (const bool use_adi : {false, true}) {
+    FleetConfig cfg = grid_fleet();
+    cfg.nodes = 5;
+    cfg.grid.use_adi = use_adi;
+    cfg.rack_ambient_spread_c = 4.0;
+    cfg.jobs = 1;
+    const FleetResult one = run_fleet(cfg);
+    cfg.jobs = 8;
+    const FleetResult eight = run_fleet(cfg);
+    EXPECT_EQ(one.node_summary_csv(), eight.node_summary_csv()) << "use_adi=" << use_adi;
+    EXPECT_EQ(one.arrived, eight.arrived) << "use_adi=" << use_adi;
+    EXPECT_EQ(one.max_node_peak_c, eight.max_node_peak_c) << "use_adi=" << use_adi;
+  }
+}
+
+TEST(FleetTest, GridFidelityRackGradientOrdersIdleNodeTemps) {
+  FleetConfig cfg = grid_fleet();
+  cfg.nodes = 4;
+  cfg.rack_ambient_spread_c = 6.0;
+  cfg.arrival_rate_per_s = 1.0;  // essentially idle: ambient dominates
+  const FleetResult r = run_fleet(cfg);
+  for (std::size_t i = 1; i < r.nodes.size(); ++i) {
+    EXPECT_GE(r.nodes[i].final_c, r.nodes[i - 1].final_c - 1e-9)
+        << "rack gradient must order idle lane temperatures";
+  }
+}
+
+TEST(FleetTest, GridFidelityKeyGatedOnMode) {
+  const FleetConfig base = small_fleet();
+  // Under kRc the grid sub-config must be inert: pre-existing keys depend
+  // only on the fields that existed before grid fidelity did.
+  FleetConfig rc_tweaked = base;
+  rc_tweaked.grid.watts_per_c *= 2.0;
+  rc_tweaked.grid.use_adi = true;
+  EXPECT_EQ(fleet_key(base), fleet_key(rc_tweaked));
+  // Turning the mode on -- and then any grid field -- changes the key.
+  FleetConfig grid_on = base;
+  grid_on.thermal = ThermalFidelity::kGrid;
+  EXPECT_NE(fleet_key(base), fleet_key(grid_on));
+  FleetConfig grid_tweaked = grid_on;
+  grid_tweaked.grid.grid_nx = 6;
+  EXPECT_NE(fleet_key(grid_on), fleet_key(grid_tweaked));
+}
+
+TEST(FleetTest, GridFidelityValidation) {
+  {
+    FleetConfig cfg = grid_fleet();
+    cfg.grid.watts_per_c = 0.0;
+    EXPECT_THROW((void)run_fleet(cfg), ConfigError);
+  }
+  {
+    FleetConfig cfg = grid_fleet();
+    cfg.grid.dram_dies = 0;
+    EXPECT_THROW((void)run_fleet(cfg), ConfigError);
+  }
+  {
+    FleetConfig cfg = grid_fleet();
+    cfg.grid.heat_capacity_scale = -1.0;
+    EXPECT_THROW((void)run_fleet(cfg), ConfigError);
+  }
+  {
+    // The same bad fields are ignored under kRc -- the mode gates them.
+    FleetConfig cfg = grid_fleet();
+    cfg.thermal = ThermalFidelity::kRc;
+    cfg.grid.watts_per_c = 0.0;
+    EXPECT_NO_THROW((void)run_fleet(cfg));
+  }
+}
+
+TEST(FleetTest, GridFidelityObserverCountsBatchLanes) {
+  FleetConfig cfg = grid_fleet();
+  obs::RunObserver observer;
+  cfg.observer = &observer;
+  const FleetResult r = run_fleet(cfg);
+  EXPECT_GT(r.served, 0u);
+  const auto& c = observer.counters;
+  EXPECT_GT(c.counter_value(obs::names::kThermalBatchLanes), 0u);
+  EXPECT_GT(c.counter_value(obs::names::kThermalBatchSweeps), 0u);
+}
+
 TEST(FleetTest, ObserverDoesNotPerturbResults) {
   FleetConfig cfg = small_fleet();
   const std::string bare = run_fleet(cfg).node_summary_csv();

@@ -223,5 +223,47 @@ TEST(RunConfigTest, FleetKnobValidation) {
   EXPECT_EQ(rc.balancer, "not-yet-registered");
 }
 
+TEST(RunConfigTest, ThermalBatchKnobDefaults) {
+  const RunConfig rc;
+  EXPECT_EQ(rc.thermal_batch, 8u);
+  EXPECT_EQ(rc.stack_layers, 0u);
+}
+
+TEST(RunConfigTest, ThermalBatchKnobsResolveFromCliAndEnvironment) {
+  ScopedEnv batch{"COOLPIM_THERMAL_BATCH", "64"};
+  ScopedEnv layers{"COOLPIM_STACK_LAYERS", "4"};
+  {
+    // Environment over defaults.
+    const RunConfig rc = RunConfig::from_env();
+    EXPECT_EQ(rc.thermal_batch, 64u);
+    EXPECT_EQ(rc.stack_layers, 4u);
+  }
+  // CLI over environment.
+  Args args{{"--thermal-batch", "16", "--stack-layers=16", "keep-me"}};
+  const RunConfig rc = RunConfig::resolve(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.thermal_batch, 16u);
+  EXPECT_EQ(rc.stack_layers, 16u);
+  EXPECT_EQ(args.remaining(), std::vector<std::string>{"keep-me"});
+}
+
+TEST(RunConfigTest, ThermalBatchKnobValidation) {
+  {
+    Args args{{"--thermal-batch", "0"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--thermal-batch", "5000"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--stack-layers", "65"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+  {
+    Args args{{"--thermal-batch", "eight"}};
+    EXPECT_THROW((void)RunConfig::from_args(&args.argc, args.argv.data()), ConfigError);
+  }
+}
+
 }  // namespace
 }  // namespace coolpim::sys

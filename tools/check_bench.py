@@ -20,7 +20,7 @@ NUM = (int, float)
 # schema tag -> {key path: expected type(s)}.  A trailing "[]" walks every
 # element of an array.
 SCHEMAS = {
-    "coolpim-bench-thermal/1": {
+    "coolpim-bench-thermal/2": {
         "quick": bool,
         "transient.nodes": NUM,
         "transient.substeps_per_step": NUM,
@@ -36,6 +36,27 @@ SCHEMAS = {
         "steady.iteration_reduction": NUM,
         "steady.cold_ms": NUM,
         "steady.warm_ms": NUM,
+        "batch.nodes": NUM,
+        "batch.substeps_per_step": NUM,
+        "batch.b1_ns_per_lane_cell_substep": NUM,
+        "batch.b1_cells_substeps_per_sec": NUM,
+        "batch.b8_ns_per_lane_cell_substep": NUM,
+        "batch.b8_cells_substeps_per_sec": NUM,
+        "batch.b64_ns_per_lane_cell_substep": NUM,
+        "batch.b64_cells_substeps_per_sec": NUM,
+        "batch.speedup_b64_vs_b1": NUM,
+        "batch.bit_identical": bool,
+        "tall_stack.layers": NUM,
+        "tall_stack.nodes": NUM,
+        "tall_stack.explicit_stable_dt_us": NUM,
+        "tall_stack.explicit_substeps_per_step": NUM,
+        "tall_stack.adi_substeps_per_step": NUM,
+        "tall_stack.explicit_ms": NUM,
+        "tall_stack.adi_ms": NUM,
+        "tall_stack.speedup": NUM,
+        "tall_stack.max_abs_error_k": NUM,
+        "tall_stack.tolerance_k": NUM,
+        "tall_stack.within_tolerance": bool,
     },
     "coolpim-bench-graph/1": {
         "quick": bool,
