@@ -95,6 +95,7 @@ std::vector<fleet::ServiceProfile> measured_profiles(const CliOptions& opt) {
   }
   runner::RunOptions run_opt;
   run_opt.jobs = opt.rc.jobs;
+  run_opt.sweep_batch = opt.rc.sweep_batch;
   return fleet::profiles_from_runs(runner::run_sweep(set, experiments, run_opt), kIdleC);
 }
 

@@ -197,6 +197,7 @@ int main(int argc, char** argv) {
   }
   runner::RunOptions run_opt;
   run_opt.jobs = opt.rc.jobs;
+  run_opt.sweep_batch = opt.rc.sweep_batch;
   std::optional<obs::SweepObserver> observer;
   if (!opt.rc.trace_path.empty() || !opt.rc.counters_path.empty()) {
     observer.emplace(!opt.rc.trace_path.empty(), !opt.rc.counters_path.empty());

@@ -1,0 +1,190 @@
+#include "runner/sweep_batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/error.hpp"
+#include "obs/names.hpp"
+#include "runner/pool.hpp"
+#include "sys/system_run.hpp"
+#include "thermal/batch_stack_model.hpp"
+#include "thermal/hmc_thermal.hpp"
+
+namespace coolpim::runner {
+
+namespace {
+
+// Per-task executor counters.  Only per-run-invariant values are recorded
+// (this run's own epoch-yield count, the configured batch width), never
+// chunk- or lane-dependent ones, so the observed counter files stay
+// byte-identical at any --jobs value.
+void record_task_counters(const SweepBatchTask& task, std::uint64_t epochs, unsigned batch) {
+  obs::RunObserver* ob = task.config.observer;
+  if (ob == nullptr) return;
+  ob->counters.counter(obs::names::kRunnerSweepBatchTasks).add();
+  ob->counters.counter(obs::names::kRunnerSweepBatchEpochs).add(epochs);
+  ob->counters.gauge(obs::names::kRunnerSweepBatchLanes).set(static_cast<double>(batch));
+}
+
+/// Execute tasks [begin, end) on one thread through a private BatchStackModel
+/// of up to `batch` lanes, refilling retired lanes from the range in order.
+/// `stats`, when non-null, receives this chunk's solver timing; the clock is
+/// never read otherwise.
+void run_chunk(const std::vector<SweepBatchTask>& tasks, std::vector<sys::RunResult>& results,
+               std::size_t begin, std::size_t end, unsigned batch, SweepBatchStats* stats) {
+  const std::size_t width = std::min<std::size_t>(batch, end - begin);
+
+  // All SystemRun thermal models compile hmc20 geometry; only the cooling
+  // solution (sink_r) varies across experiments.  Seed the shared network
+  // from the first task -- a later load_lane with different cooling flips the
+  // batch into per-lane conductance tables automatically.
+  const thermal::StackSpec spec = thermal::HmcThermalModel::build_stack_spec(
+      thermal::hmc20_thermal_config(tasks[begin].config.cooling));
+  thermal::BatchStackModel bat{spec, width};
+
+  struct Lane {
+    std::unique_ptr<sys::SystemRun> run;  // null = lane empty (h forced to 0)
+    std::size_t task{0};
+    std::uint64_t epochs{0};
+    Time dt{Time::zero()};       // the pending epoch being substepped
+    std::size_t remaining{0};    // substeps left in that epoch
+    double h{0.0};               // this epoch's exact substep, dt / substeps
+  };
+  std::vector<Lane> lanes(width);
+  std::vector<double> hs(width, 0.0);
+  std::size_t next = begin;
+
+  // Split lane v's pending dt into its scalar-verbatim (substeps, h) plan.
+  auto plan = [&](std::size_t v, Lane& ln) {
+    ln.dt = ln.run->pending_dt();
+    const auto p = bat.lane_step_plan(v, ln.dt);
+    ln.remaining = p.substeps;
+    ln.h = p.h;
+  };
+
+  // Load the next unstarted task into lane v and advance it to its first
+  // thermal yield before binding (construction + initial steady solve run on
+  // the scalar model; bind_lane then imports that state into the lane).  A
+  // degenerate run that completes without ever yielding retires immediately
+  // and the lane tries the next task.
+  auto fill = [&](std::size_t v) {
+    while (next < end) {
+      const std::size_t t = next++;
+      auto run = std::make_unique<sys::SystemRun>(tasks[t].config, *tasks[t].profile);
+      if (!run->advance()) {
+        results[t] = run->take_result();
+        record_task_counters(tasks[t], 0, batch);
+        continue;
+      }
+      run->thermal().bind_lane(&bat, v);
+      lanes[v] = Lane{std::move(run), t, 0};
+      plan(v, lanes[v]);
+      return;
+    }
+    lanes[v].run.reset();  // range exhausted: lane coasts until the chunk ends
+  };
+
+  for (std::size_t v = 0; v < width; ++v) fill(v);
+
+  // Asynchronous lock-step: every round advances each lane by one substep of
+  // ITS OWN current epoch -- lanes never wait for the round's longest epoch.
+  // A lane that completes its epoch runs the serve/control phase immediately
+  // and re-plans (or retires and refills), so a lane only coasts (h = 0,
+  // bit-exact) once the chunk's task range is exhausted.  Per lane the
+  // substep sequence is exactly the scalar solver's, so scheduling slack
+  // never enters the arithmetic.
+  for (;;) {
+    bool any_live = false;
+    for (std::size_t v = 0; v < width; ++v) {
+      Lane& ln = lanes[v];
+      if (ln.run != nullptr && ln.remaining == 0) {
+        // Epoch complete: bookkeeping + serve/control phase up to the next
+        // thermal yield, retiring and refilling on completion.
+        ln.run->thermal().note_stepped(ln.dt);
+        ++ln.epochs;
+        if (stats != nullptr) ++stats->epochs;
+        if (ln.run->advance()) {
+          plan(v, ln);
+        } else {
+          // finalize() already unbound the lane (exporting the final state
+          // back to the scalar stack), so the slot is free; the replacement
+          // joins the rounds immediately.
+          results[ln.task] = ln.run->take_result();
+          record_task_counters(tasks[ln.task], ln.epochs, batch);
+          ln.run.reset();
+          fill(v);
+        }
+      }
+      any_live |= (lanes[v].run != nullptr);
+    }
+    if (!any_live) break;
+
+    for (std::size_t v = 0; v < width; ++v) {
+      hs[v] = lanes[v].run != nullptr ? lanes[v].h : 0.0;
+    }
+    if (stats == nullptr) {
+      bat.substep_lanes(hs.data());
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      bat.substep_lanes(hs.data());
+      stats->sweep_wall_ms +=
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ++stats->rounds;
+    }
+    for (std::size_t v = 0; v < width; ++v) {
+      if (lanes[v].run != nullptr) --lanes[v].remaining;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<sys::RunResult> run_lockstep(const std::vector<SweepBatchTask>& tasks,
+                                         unsigned batch, unsigned jobs, SweepBatchStats* stats) {
+  COOLPIM_REQUIRE(batch >= 1, "run_lockstep: batch width must be >= 1");
+  std::vector<sys::RunResult> results(tasks.size());
+  if (tasks.empty()) return results;
+  for (const SweepBatchTask& t : tasks) {
+    COOLPIM_REQUIRE(t.profile != nullptr, "run_lockstep: task without a workload profile");
+  }
+
+  // One contiguous chunk per worker, never more chunks than full-ish batches:
+  // each chunk is single-threaded over its own BatchStackModel, so fewer,
+  // fuller batches beat many starved ones.
+  const std::size_t n = tasks.size();
+  const unsigned resolved = jobs == 0 ? Pool::default_jobs() : jobs;
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min<std::size_t>(resolved, (n + batch - 1) / batch));
+  if (n_chunks == 1) {
+    run_chunk(tasks, results, 0, n, batch, stats);
+    return results;
+  }
+
+  // Per-chunk stats slots keep the accumulation lock-free; summed below.
+  std::vector<SweepBatchStats> chunk_stats(stats != nullptr ? n_chunks : 0);
+  Pool pool{jobs};
+  pool.parallel_for(
+      n_chunks,
+      [&](std::size_t c) {
+        const std::size_t b = n * c / n_chunks;
+        const std::size_t e = n * (c + 1) / n_chunks;
+        if (b < e) {
+          run_chunk(tasks, results, b, e, batch,
+                    stats != nullptr ? &chunk_stats[c] : nullptr);
+        }
+      },
+      1);
+  if (stats != nullptr) {
+    for (const SweepBatchStats& cs : chunk_stats) {
+      stats->sweep_wall_ms += cs.sweep_wall_ms;
+      stats->rounds += cs.rounds;
+      stats->epochs += cs.epochs;
+    }
+  }
+  return results;
+}
+
+}  // namespace coolpim::runner

@@ -1,0 +1,73 @@
+// Lock-step batched sweep executor: co-advance concurrent experiments
+// through one SoA thermal sweep (DESIGN.md section 14).
+//
+// The scalar runner executes experiments one System::run at a time, so every
+// 10 us epoch pays a full scalar transient solve over a small (9 x 512 node)
+// grid -- too little arithmetic per node to vectorize across cells.  This
+// executor instead groups same-geometry experiments into the lanes of a
+// shared thermal::BatchStackModel and drives each run through the resumable
+// sys::SystemRun interface.  Scheduling is asynchronous at substep
+// granularity: each lane's pending epoch is split into its scalar-verbatim
+// (substeps, h) plan (BatchStackModel::lane_step_plan), every round advances
+// all lanes by one substep of their OWN h in one lane-vectorized sweep
+// (substep_lanes, the round-level building block of step_lanes), and a lane
+// that completes its epoch runs its serve/control phase and re-plans
+// immediately -- lanes never idle waiting for the round's longest epoch, so
+// batch utilization stays full until the task range runs dry.
+//
+// Bit-identity contract: per lane the batch performs the scalar solver's IEEE
+// operation sequence verbatim, a lane with no work in a round coasts on an
+// exact h = 0 substep, and retire/refill touches only the affected lane's
+// strided slots -- so every RunResult is bit-identical to sys::System::run,
+// at any batch width, any fill order and any jobs count (pinned by
+// tests/test_sweep_batch.cpp and the in-run gate in bench/perf_sim.cpp).
+//
+// Scheduling: tasks are split into at most one contiguous chunk per worker
+// (chunks never share thermal state, so no locking), each chunk owning one
+// BatchStackModel of up to `batch` lanes that it refills from its own range
+// as runs retire.  Chunk boundaries depend on the jobs count, but chunk
+// membership never enters any run's arithmetic, so results stay
+// jobs-invariant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sys/system.hpp"
+
+namespace coolpim::runner {
+
+/// One pre-resolved unit of work for the lock-step executor: the profiled
+/// workload plus a finalized SystemConfig (run_seed derived from the
+/// experiment key and observer attached by the caller -- this layer never
+/// rewrites either).
+struct SweepBatchTask {
+  const graph::WorkloadProfile* profile{nullptr};
+  sys::SystemConfig config{};
+};
+
+/// Aggregate executor timing, filled when a caller passes a stats sink to
+/// run_lockstep (bench/perf_sim's sweep_batch gate).  Timing is collected
+/// only when requested -- the hot loop carries no clock reads otherwise --
+/// and never feeds back into any run's arithmetic, so results stay
+/// bit-identical with or without it.
+struct SweepBatchStats {
+  /// Wall time spent inside BatchStackModel::substep_lanes, summed over
+  /// chunks (with jobs > 1 chunks overlap, so this is solver work, not
+  /// elapsed time).
+  double sweep_wall_ms{0.0};
+  /// Lock-step sweep rounds (substep_lanes calls) across all chunks.
+  std::uint64_t rounds{0};
+  /// Thermal yields answered (lane-epochs) across all tasks.
+  std::uint64_t epochs{0};
+};
+
+/// Run every task to completion, co-advancing up to `batch` concurrent runs
+/// per worker in thermal lock-step.  `jobs` = 0 selects Pool::default_jobs().
+/// Results come back in task order, bit-identical to running each task
+/// through sys::System::run.
+[[nodiscard]] std::vector<sys::RunResult> run_lockstep(const std::vector<SweepBatchTask>& tasks,
+                                                       unsigned batch, unsigned jobs = 0,
+                                                       SweepBatchStats* stats = nullptr);
+
+}  // namespace coolpim::runner

@@ -37,8 +37,10 @@ struct ThermalBatchOptions {
   /// Lanes per BatchStackModel (the SoA vector width).  8 doubles = one
   /// cache line per node; 64 amortizes the conductance broadcast further.
   std::size_t batch{8};
-  /// Pool width; 0 = Pool::default_jobs(), 1 = caller's thread.
-  unsigned jobs{1};
+  /// Pool width; 0 = Pool::default_jobs() (COOLPIM_JOBS env or all cores,
+  /// the same resolution every other runner entry point uses), 1 = caller's
+  /// thread.  Per-lane results are jobs-invariant either way.
+  unsigned jobs{0};
   thermal::BatchOptions kernel{};
 };
 

@@ -80,6 +80,10 @@ const Knob kKnobs[] = {
      [](RunConfig& rc, std::string_view n, const char* v) {
        rc.thermal_batch = static_cast<unsigned>(parse_u64(n, v));
      }},
+    {"COOLPIM_SWEEP_BATCH", "--sweep-batch",
+     [](RunConfig& rc, std::string_view n, const char* v) {
+       rc.sweep_batch = static_cast<unsigned>(parse_u64(n, v));
+     }},
     {"COOLPIM_STACK_LAYERS", "--stack-layers",
      [](RunConfig& rc, std::string_view n, const char* v) {
        rc.stack_layers = static_cast<unsigned>(parse_u64(n, v));
@@ -136,6 +140,8 @@ void RunConfig::validate() const {
   COOLPIM_REQUIRE(!balancer.empty(), "balancer must not be empty");
   COOLPIM_REQUIRE(thermal_batch >= 1 && thermal_batch <= 4096,
                   "thermal-batch must be in [1, 4096]");
+  COOLPIM_REQUIRE(sweep_batch >= 1 && sweep_batch <= 4096,
+                  "sweep-batch must be in [1, 4096]");
   COOLPIM_REQUIRE(stack_layers <= 64, "stack-layers must be in [0, 64]");
   if (!policy.empty()) {
     Scenario unused;
@@ -233,6 +239,8 @@ std::string RunConfig::flags_help() {
          "  --balancer NAME      fleet tier: round-robin, join-shortest-queue,\n"
          "                       thermal-aware\n"
          "  --thermal-batch N    batched-solver lanes per SoA sweep (1..4096)\n"
+         "  --sweep-batch N      co-advance N experiments per worker through\n"
+         "                       one SoA thermal sweep (1 = scalar runner)\n"
          "  --stack-layers N     DRAM dies in the stack geometry (0 = entry\n"
          "                       point default, up to 64; 16 = HBM-class tall)\n"
          "  --fault-drop R       warning drop probability [0,1]\n"

@@ -62,6 +62,12 @@ struct RunConfig {
   /// BatchStackModel advances per SoA sweep pass (docs/PERFORMANCE.md
   /// section 7).
   unsigned thermal_batch{8};
+  /// Sweep lane-batching width (COOLPIM_SWEEP_BATCH / --sweep-batch, range
+  /// [1, 4096]); > 1 routes runner sweeps through the lock-step executor,
+  /// co-advancing that many experiments per worker through one SoA thermal
+  /// sweep per epoch (runner/sweep_batch.hpp).  Results are bit-identical to
+  /// the scalar path at any width; only wall-clock changes.
+  unsigned sweep_batch{1};
   /// DRAM die count for the stack geometry (COOLPIM_STACK_LAYERS /
   /// --stack-layers, range [0, 64]); 0 keeps the entry point's default
   /// geometry, >0 selects an hbm_stack_spec-style stack that tall (16-high

@@ -1,79 +1,8 @@
 #include "sys/system.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-
-#include "control/registry.hpp"
-#include "fault/fault_plan.hpp"
-#include "fault/watchdog.hpp"
-#include "gpu/engine.hpp"
-#include "hmc/link_model.hpp"
-#include "hmc/packet.hpp"
-#include "hmc/throughput_model.hpp"
-#include "obs/names.hpp"
-#include "thermal/hmc_thermal.hpp"
+#include "sys/system_run.hpp"
 
 namespace coolpim::sys {
-
-namespace {
-
-/// Delayed temperature sensor: reports the DRAM temperature `delay` ago.
-class DelayedSensor {
- public:
-  explicit DelayedSensor(Time delay, Celsius initial) : delay_{delay} {
-    samples_.push_back({Time::zero(), initial});
-  }
-
-  void record(Time now, Celsius temp) {
-    samples_.push_back({now, temp});
-    // Drop everything older than we will ever need again.
-    while (samples_.size() > 2 && samples_[1].when + delay_ <= now) samples_.pop_front();
-  }
-
-  [[nodiscard]] Celsius sensed(Time now) const {
-    const Time target = now - delay_;
-    Celsius best = samples_.front().temp;
-    for (const auto& s : samples_) {
-      if (s.when <= target) best = s.temp;
-      else break;
-    }
-    return best;
-  }
-
- private:
-  struct Sample {
-    Time when;
-    Celsius temp;
-  };
-  Time delay_;
-  std::deque<Sample> samples_;
-};
-
-std::unique_ptr<control::Policy> make_controller(const SystemConfig& cfg,
-                                                 const graph::WorkloadProfile& workload,
-                                                 const hmc::LinkModel& link,
-                                                 double naive_rate_estimate) {
-  control::PolicyBuild build;
-  build.scenario = cfg.scenario;
-  build.sw.control_factor = cfg.sw_control_factor;
-  build.sw.eq1.max_blocks = static_cast<std::uint32_t>(cfg.gpu.max_resident_blocks());
-  build.sw.eq1.pim_intensity = workload.pim_intensity();
-  build.sw.eq1.divergent_warp_ratio = workload.divergence_ratio();
-  build.sw.eq1.target_rate_op_per_ns = cfg.target_rate_op_per_ns;
-  build.sw.eq1.margin_blocks = cfg.eq1_margin_blocks;
-  // Peak PIM rate: the link FLIT budget divided by 3 FLITs per op.
-  build.sw.eq1.pim_peak_rate_op_per_ns =
-      link.flits_per_sec() / hmc::flit_cost(hmc::TransactionType::kPimNoReturn).total() * 1e-9;
-  build.sw.eq1.estimated_naive_rate_op_per_ns = naive_rate_estimate;
-  build.hw.max_warps_per_sm = static_cast<std::uint32_t>(cfg.gpu.max_warps_per_sm);
-  build.hw.control_factor = cfg.hw_control_factor;
-  build.mpc = cfg.mpc;
-  build.table = cfg.policy_table;
-  return control::make_policy(build);
-}
-
-}  // namespace
 
 System::System(SystemConfig cfg) : cfg_{std::move(cfg)} {
   cfg_.gpu.validate();
@@ -81,349 +10,13 @@ System::System(SystemConfig cfg) : cfg_{std::move(cfg)} {
 }
 
 RunResult System::run(const graph::WorkloadProfile& workload) {
-  COOLPIM_REQUIRE(workload.graph_vertices > 0, "workload missing graph metadata");
-
-  // Observability: null handles when no observer is attached; every record
-  // call below degenerates to one predictable branch.
-  obs::Trace tr;
-  obs::CounterRegistry* ctr = nullptr;
-  if (cfg_.observer != nullptr) {
-    tr = cfg_.observer->trace();
-    ctr = &cfg_.observer->counters;
-  }
-
-  const hmc::ThroughputModel hmc_model{cfg_.hmc, cfg_.policy};
-  const hmc::LinkModel& link = hmc_model.link();
-  const bool ideal = cfg_.scenario == Scenario::kIdealThermal;
-
-  // Property footprint: two 4-byte property arrays (e.g. level + frontier
-  // flags) over the vertices is representative of the workloads here.
-  gpu::CacheHitModel cache{cfg_.gpu,
-                           static_cast<std::uint64_t>(workload.graph_vertices) * 8,
-                           1 << 20, cfg_.run_seed};
-  auto launches = gpu::build_launches(workload, cfg_.gpu, cache);
-
-  // Static analysis for Eq. 1's PTP initialization: estimate the
-  // un-throttled offloading rate from the launch totals and the link budget
-  // (the "simple trial run" of the paper).
-  double est_flits = 0.0, est_instr = 0.0, est_atomics = 0.0;
-  for (const auto& l : launches) {
-    est_flits += 6.0 * (l.mem.read_txns + l.mem.write_txns) + 3.0 * l.mem.atomic_ops;
-    est_instr += l.warp_instructions;
-    est_atomics += l.mem.atomic_ops;
-  }
-  const double est_time =
-      std::max(est_flits / link.flits_per_sec(), est_instr / cfg_.gpu.issue_rate_per_sec());
-  const double naive_rate_estimate =
-      est_time > 0.0 ? est_atomics / est_time * 1e-9 : 0.0;
-
-  auto controller = make_controller(cfg_, workload, link, naive_rate_estimate);
-  controller->set_trace(tr);
-  controller->set_counters(ctr);
-  gpu::ExecutionEngine engine{cfg_.gpu, std::move(launches), *controller};
-  engine.set_observer(tr, ctr);
-
-  thermal::HmcThermalModel therm{thermal::hmc20_thermal_config(cfg_.cooling)};
-  therm.set_observer(tr, ctr, cfg_.policy.warning_threshold);
-  // Initial thermal state: the device has been serving the surrounding
-  // application's regular (non-PIM) traffic at full link bandwidth, so start
-  // from that steady state (~81 C with commodity cooling) unless overridden.
-  if (cfg_.start_temp_override > 0.0) {
-    power::OperatingPoint warm{};
-    warm.link_raw = link.config().link_raw_total();
-    warm.dram_internal = link.max_data_bandwidth();
-    // Scale the warm operating point so the steady peak matches the override
-    // (used by transient experiments that start just below the warning).
-    therm.apply_power(power::compute_power(cfg_.energy, warm));
-    therm.solve_steady();
-    double lo = 0.0, hi = 4.0;
-    for (int i = 0; i < 24; ++i) {
-      const double k = 0.5 * (lo + hi);
-      power::OperatingPoint scaled{};
-      scaled.link_raw = warm.link_raw * k;
-      scaled.dram_internal = warm.dram_internal * k;
-      therm.apply_power(power::compute_power(cfg_.energy, scaled));
-      therm.solve_steady();
-      if (therm.peak_dram().value() < cfg_.start_temp_override) lo = k; else hi = k;
-    }
-  } else {
-    power::OperatingPoint warm{};
-    warm.link_raw = link.config().link_raw_total();
-    warm.dram_internal = link.max_data_bandwidth();
-    therm.apply_power(power::compute_power(cfg_.energy, warm));
-    therm.solve_steady();
-  }
-
-  DelayedSensor sensor{cfg_.thermal_delay, therm.peak_dram()};
-
-  // Fault layer: instantiated only when the config enables it, so fault-free
-  // runs execute the exact pre-fault code path -- no extra RNG draws, no
-  // behavioural drift from the pre-fault-layer simulator (DESIGN.md sect 10).
-  const bool faulty = cfg_.fault.enabled() && !ideal;
-  std::optional<fault::FaultPlan> faults;
-  std::optional<fault::Watchdog> wdog;
-  if (faulty) {
-    faults.emplace(cfg_.fault, cfg_.run_seed);
-    faults->set_observer(tr, ctr);
-    if (cfg_.fault.watchdog.enabled) {
-      wdog.emplace(cfg_.fault.watchdog, cfg_.policy.warning_threshold);
-      wdog->set_observer(tr, ctr);
-    }
-  }
-
-  RunResult result;
-  result.workload = workload.name;
-  result.scenario = std::string(to_string(cfg_.scenario));
-
-  Time now = Time::zero();
-
-  struct PassOutcome {
-    Celsius peak{0.0};
-    power::OperatingPoint avg{};
-    hmc::EpochDemand demand_per_sec{};  // average offered demand rate
-  };
-
-
-  // One execution of the full workload; records into `result` when `measure`.
-  auto run_pass = [&](Time epoch, bool measure) -> PassOutcome {
-    engine.restart();
-    const Time pass_start = now;
-    obs::ScopedSpan pass_span{tr, now, obs::names::kCatSim, measure ? "measured_pass" : "warmup_pass",
-                              {{"epoch_us", epoch.as_us()}}};
-    Celsius pass_peak = therm.peak_dram();
-    double tot_raw = 0.0, tot_internal = 0.0, tot_pim = 0.0;
-    double dem_reads = 0.0, dem_writes = 0.0, dem_pims = 0.0;
-
-    while (!engine.finished()) {
-      COOLPIM_REQUIRE(now - pass_start < cfg_.max_time, "run exceeded max_time");
-      Time left = epoch;
-      double pim_ops = 0.0, reads = 0.0, writes = 0.0;
-      // Inner loop: launch overheads can split an epoch.
-      int spins = 0;
-      while (left > Time::zero() && !engine.finished()) {
-        COOLPIM_ASSERT_MSG(++spins < 10000, "epoch failed to make progress");
-        const Celsius temp = ideal ? therm.config().ambient : therm.peak_dram();
-        const auto demand = engine.plan(now, left);
-        dem_reads += demand.reads;
-        dem_writes += demand.writes;
-        dem_pims += demand.pim_ops;
-        const auto service = hmc_model.serve(demand, left, temp);
-        if (service.shut_down) {
-          // Conservative device behaviour: stop, cool, lose data (paper
-          // III-A.2); account the recovery and restart the pass cold.
-          result.shut_down = true;
-          tr.instant(now, obs::names::kCatSys, "thermal_shutdown",
-                     {{"recovery_ms", cfg_.shutdown_recovery.as_ms()}});
-          if (ctr != nullptr) ctr->counter(obs::names::kSysShutdowns).add();
-          now += cfg_.shutdown_recovery;
-          therm.reset();
-          engine.restart();
-          left = epoch;
-          continue;
-        }
-        const Time used = engine.commit(now, left, service);
-        pim_ops += service.pim_ops;
-        reads += service.reads;
-        writes += service.writes;
-        now += used;
-        left -= used;
-      }
-
-      const Time step = epoch - left;
-      if (step <= Time::zero()) continue;
-      const double secs = step.as_sec();
-
-      // Power from the epoch's served traffic.
-      hmc::TransactionMix mix{reads / secs, writes / secs, pim_ops / secs, 0.0};
-      power::OperatingPoint op;
-      op.link_raw = link.raw_link_bandwidth(mix);
-      op.dram_internal = link.internal_dram_bandwidth(mix);
-      op.pim_ops_per_sec = mix.pim_per_sec;
-      const int level =
-          ideal ? 0 : std::min(2, static_cast<int>(cfg_.policy.phase(therm.peak_dram())));
-      const auto pb = power::compute_power(cfg_.energy, op, level);
-      therm.apply_power(pb);
-      if (tr.enabled()) {
-        // The epoch ran [now - step, now): the HMC serve span covers it, and
-        // the thermal model's internal trace clock is re-anchored so its
-        // step() span lands on the same interval.
-        tr.complete(now - step, step, obs::names::kCatHmc, "serve",
-                    {{"reads", reads},
-                     {"writes", writes},
-                     {"pim_ops", pim_ops},
-                     {"derate_level", level}});
-      }
-      therm.sync_trace_clock(now - step);
-      therm.step(step);
-      if (ctr != nullptr) {
-        ctr->counter(obs::names::kSysEpochs).add();
-        ctr->counter(obs::names::kHmcServedReads).add(static_cast<std::uint64_t>(reads + 0.5));
-        ctr->counter(obs::names::kHmcServedWrites)
-            .add(static_cast<std::uint64_t>(writes + 0.5));
-        ctr->counter(obs::names::kHmcServedPimOps)
-            .add(static_cast<std::uint64_t>(pim_ops + 0.5));
-      }
-      if (measure) {
-        result.cube_energy_j += pb.total().value() * secs;
-        result.fan_energy_j += power::cooling(cfg_.cooling).fan_power_watts * secs;
-      }
-      tot_raw += op.link_raw.as_bytes_per_sec() * secs;
-      tot_internal += op.dram_internal.as_bytes_per_sec() * secs;
-      tot_pim += pim_ops;
-
-      const Celsius dram = therm.peak_dram();
-      pass_peak = std::max(pass_peak, dram);
-      sensor.record(now, dram);
-
-      // Thermal warnings ride on response packets; the host sees the sensed
-      // (delayed) temperature.  With the fault layer active the reading is
-      // conditioned (noise / quantization / stuck-at), raised warnings roll
-      // their in-flight fate, and the watchdog closes the fail-safe loop.
-      if (faulty) {
-        faults->begin_epoch(now);
-        const Celsius seen = faults->condition_reading(now, sensor.sensed(now));
-        // Per-epoch policy hook: predictive policies act on the (conditioned)
-        // sensed reading before any warning fires; a no-op for reactive ones.
-        controller->on_epoch(control::Reading{seen}, now);
-        if (cfg_.policy.warning(seen)) faults->offer_warning(now);
-        faults->maybe_spurious(now);
-        for (const auto& d : faults->collect_due(now)) {
-          if (ctr != nullptr) ctr->counter(obs::names::kSysThermalWarningsDelivered).add();
-          controller->on_thermal_warning(d.at, d.raised_at);
-          if (wdog) wdog->on_delivery(d.at);
-          if (measure) ++result.thermal_warnings;
-        }
-        if (wdog && wdog->tick(now, seen)) controller->on_watchdog_engage(now);
-      } else if (!ideal) {
-        const Celsius seen = sensor.sensed(now);
-        controller->on_epoch(control::Reading{seen}, now);
-        if (cfg_.policy.warning(seen)) {
-          if (ctr != nullptr) ctr->counter(obs::names::kSysThermalWarningsDelivered).add();
-          controller->on_thermal_warning(now);
-          if (measure) ++result.thermal_warnings;
-        }
-      }
-
-      if (measure) {
-        result.link_data_bytes += link.data_bandwidth(mix).as_bytes_per_sec() * secs;
-        result.link_raw_bytes += op.link_raw.as_bytes_per_sec() * secs;
-        result.dram_internal_bytes += op.dram_internal.as_bytes_per_sec() * secs;
-        result.pim_ops += static_cast<std::uint64_t>(pim_ops + 0.5);
-        if (!ideal && cfg_.policy.phase(dram) != hmc::ThermalPhase::kNormal) {
-          result.time_above_normal += step;
-        }
-        result.pim_rate.record(now, mix.pim_per_sec * 1e-9);
-        result.dram_temp.record(now, dram.value());
-        result.link_bw.record(now, link.data_bandwidth(mix).as_gbps());
-        tr.counter(now, obs::names::kCatSys, "pim_rate_gops", mix.pim_per_sec * 1e-9);
-        tr.counter(now, obs::names::kCatSys, "link_data_gbps", link.data_bandwidth(mix).as_gbps());
-        if (ctr != nullptr) {
-          ctr->gauge(obs::names::kSysPimRateGops).set(mix.pim_per_sec * 1e-9);
-          ctr->gauge(obs::names::kSysLinkDataGbps).set(link.data_bandwidth(mix).as_gbps());
-          ctr->mark(now);
-        }
-      }
-    }
-    if (measure) result.exec_time = now - pass_start;
-    PassOutcome out;
-    out.peak = pass_peak;
-    const double pass_secs = (now - pass_start).as_sec();
-    if (pass_secs > 0.0) {
-      out.avg.link_raw = Bandwidth::bytes_per_sec(tot_raw / pass_secs);
-      out.avg.dram_internal = Bandwidth::bytes_per_sec(tot_internal / pass_secs);
-      out.avg.pim_ops_per_sec = tot_pim / pass_secs;
-      out.demand_per_sec.reads = dem_reads / pass_secs;
-      out.demand_per_sec.writes = dem_writes / pass_secs;
-      out.demand_per_sec.pim_ops = dem_pims / pass_secs;
-    }
-    return out;
-  };
-
-  // Warm-up: the application executes the workload's kernels back-to-back,
-  // so the measured pass should start from the quasi-steady thermal and
-  // controller state of sustained execution.  The stack's thermal time
-  // constant (~1.5 ms) is short relative to a pass, so transient warm-up
-  // passes converge within a few repetitions.  Skipped when warm_start is
-  // off (transient experiments).
-  if (cfg_.warm_start) {
-    Celsius prev_peak = therm.peak_dram();
-    std::uint64_t prev_adjustments = controller->adjustments();
-    hmc::EpochDemand ema{};
-    for (unsigned rep = 0; rep < cfg_.max_warmup_reps; ++rep) {
-      const auto pass = run_pass(cfg_.warmup_epoch, /*measure=*/false);
-      // Fast-forward to the sustained equilibrium: the heat sink's own time
-      // constant is tens of seconds, far beyond what a pass can move, so
-      // solve for the steady state of the pass's average served traffic at
-      // the corresponding derate level.  The average is smoothed across
-      // repetitions (EMA) to damp the bistable hot/cool ping-pong a single
-      // pass average can induce near the derating boundary.
-      ema = pass.demand_per_sec;
-      // Sustained-equilibrium jump: at each candidate derate level, serve
-      // the pass's offered demand at that level and solve for the
-      // steady state of the *served* traffic under that level's hot-energy
-      // penalty.  Accept the coolest self-consistent level (a device whose
-      // full-speed steady state is below 85 C never enters the extended
-      // range); if no level is consistent the equilibrium straddles the
-      // 85 C boundary, which the extended-level solution represents best.
-      auto solve_at = [&](int level) {
-        const Celsius probe{level == 0 ? 80.0 : (level == 1 ? 90.0 : 100.0)};
-        const auto svc = hmc_model.serve(ema, Time::sec(1.0), probe);
-        power::OperatingPoint op;
-        op.link_raw = svc.link_raw;
-        op.dram_internal = svc.dram_internal;
-        op.pim_ops_per_sec = svc.pim_ops_per_sec;
-        therm.apply_power(power::compute_power(cfg_.energy, op, level));
-        therm.solve_steady();
-        return std::min(2, static_cast<int>(cfg_.policy.phase(therm.peak_dram())));
-      };
-      bool consistent = false;
-      for (int level = 0; level <= 2 && !consistent; ++level) {
-        consistent = solve_at(level) == level;
-      }
-      if (!consistent) (void)solve_at(1);
-      // The jump is a fast-forward, not a physical excursion: re-anchor the
-      // thermal sensor so stale pre-jump samples cannot trigger warnings.
-      sensor = DelayedSensor{cfg_.thermal_delay, therm.peak_dram()};
-      sensor.record(now, therm.peak_dram());
-
-      const bool thermally_stable = std::abs(pass.peak - prev_peak) < cfg_.warmup_tolerance_c;
-      const bool controller_quiet = controller->adjustments() == prev_adjustments;
-      if (rep > 0 && thermally_stable && controller_quiet) break;
-      prev_peak = pass.peak;
-      prev_adjustments = controller->adjustments();
-    }
-  }
-
-  result.start_dram_temp = therm.peak_dram();
-  engine.stats().reset();  // warm-up traffic is not part of the measurement
-  const Time measured_start = now;
-  const auto measured = run_pass(cfg_.epoch, /*measure=*/true);
-  result.peak_dram_temp = ideal ? therm.config().ambient : measured.peak;
-  result.host_atomics = engine.stats().counter_value("host_atomics");
-  if (tr.enabled()) {
-    // One span per controller over the measured pass so the throttle policy
-    // in force is readable directly off the "core" track.
-    tr.complete(measured_start, now - measured_start, obs::names::kCatCore, controller->name(),
-                {{"adjustments", controller->adjustments()},
-                 {"warnings_delivered", result.thermal_warnings}});
-  }
-  if (faulty) {
-    result.faults.active = true;
-    const auto& fs = faults->stats();
-    result.faults.warnings_offered = fs.warnings_offered;
-    result.faults.warnings_delivered = fs.warnings_delivered;
-    result.faults.warnings_dropped = fs.warnings_dropped;
-    result.faults.warnings_corrupted = fs.warnings_corrupted;
-    result.faults.retries = fs.retries;
-    result.faults.retry_giveups = fs.retry_giveups;
-    result.faults.spurious_warnings = fs.spurious_warnings;
-    result.faults.link_outages = fs.link_outages;
-    if (wdog) {
-      result.faults.watchdog_engagements = wdog->engagements();
-      result.faults.watchdog_disengagements = wdog->disengagements();
-    }
-  }
-  return result;
+  // Scalar driver of the resumable run (sys/system_run.hpp): every yield is
+  // answered with an immediate scalar thermal step, which executes the exact
+  // statement sequence of the pre-split monolithic epoch loop.  The batched
+  // sweep executor (runner/sweep_batch.hpp) is the other driver.
+  SystemRun run{cfg_, workload};
+  while (run.advance()) run.thermal().step(run.pending_dt());
+  return run.take_result();
 }
 
 }  // namespace coolpim::sys

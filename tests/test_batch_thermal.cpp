@@ -337,6 +337,176 @@ TEST(BatchThermal, RunnerBatchInvariantUnderBatchWidthAndJobs) {
   }
 }
 
+// ---- Lane lifecycle (batched sweep executor, DESIGN.md section 14) ---------
+
+/// Exact full-state comparison of two scalar models (field + sink).
+void expect_scalar_matches_scalar(const StackModel& a, const StackModel& b) {
+  for (std::size_t l = 0; l < a.layer_count(); ++l) {
+    for (std::size_t c = 0; c < a.cells_per_layer(); ++c) {
+      ASSERT_EQ(a.cell_temp(l, c).value(), b.cell_temp(l, c).value())
+          << "layer " << l << " cell " << c;
+    }
+  }
+  ASSERT_EQ(a.sink_temp().value(), b.sink_temp().value());
+}
+
+TEST(BatchThermalLifecycle, LoadStoreRoundTripIsExact) {
+  Rng rng{0x10ad'510eULL};
+  const StackSpec spec = random_spec(rng);
+  StackModel src{spec};
+  const auto maps = random_power(spec, rng);
+  for (std::size_t l = 0; l < spec.layers.size(); ++l) src.set_layer_power(l, maps[l]);
+  src.step(Time::us(30.0));  // non-trivial mid-transient state
+
+  BatchStackModel batch{spec, 3};
+  batch.load_lane(1, src);
+  expect_lane_matches_scalar(batch, 1, src);
+
+  // The exported model continues bit-identically with the original: exact
+  // copies of temperatures, sink AND power round-tripped.
+  StackModel dst{spec};
+  batch.store_lane(1, dst);
+  src.step(Time::us(10.0));
+  dst.step(Time::us(10.0));
+  expect_scalar_matches_scalar(src, dst);
+}
+
+TEST(BatchThermalLifecycle, StepLanesAdvancesEachLaneByItsOwnDt) {
+  Rng rng{0x1a9e'd715ULL};
+  const StackSpec spec = random_spec(rng);
+  constexpr std::size_t kLanes = 4;
+  BatchStackModel batch{spec, kLanes};
+
+  std::vector<StackModel> twins;
+  for (std::size_t v = 0; v < kLanes; ++v) {
+    twins.emplace_back(spec);
+    const auto maps = random_power(spec, rng);
+    for (std::size_t l = 0; l < spec.layers.size(); ++l) twins[v].set_layer_power(l, maps[l]);
+    batch.load_lane(v, twins[v]);
+  }
+
+  // Per-lane dt schedules, including idle (zero-dt) rounds: lanes that sit a
+  // round out -- or that need fewer substeps than the round's longest lane --
+  // must be preserved bit-for-bit.
+  const Time menu[] = {Time::zero(), Time::us(10.0), Time::us(25.0), batch.stable_step()};
+  for (int round = 0; round < 6; ++round) {
+    Time dts[kLanes];
+    for (std::size_t v = 0; v < kLanes; ++v) {
+      dts[v] = menu[static_cast<std::size_t>(rng.next_in(0, 3))];
+    }
+    batch.step_lanes(dts);
+    for (std::size_t v = 0; v < kLanes; ++v) {
+      if (dts[v] > Time::zero()) twins[v].step(dts[v]);
+      expect_lane_matches_scalar(batch, v, twins[v]);
+    }
+  }
+}
+
+TEST(BatchThermalLifecycle, RetireRefillPreservesSurvivorsAtAnyFillOrder) {
+  Rng rng{0x4ef1'11edULL};
+  const StackSpec spec = random_spec(rng);
+  constexpr std::size_t kLanes = 4;
+
+  const auto fresh_twin = [&](Rng& r) {
+    StackModel m{spec};
+    const auto maps = random_power(spec, r);
+    for (std::size_t l = 0; l < spec.layers.size(); ++l) m.set_layer_power(l, maps[l]);
+    return m;
+  };
+
+  BatchStackModel batch{spec, kLanes};
+  std::vector<StackModel> twins;
+  Rng twin_rng{0x7717'0001ULL};
+  for (std::size_t v = 0; v < kLanes; ++v) {
+    twins.push_back(fresh_twin(twin_rng));
+    batch.load_lane(v, twins[v]);
+  }
+
+  std::vector<Time> dts(kLanes, Time::us(10.0));
+  for (int r = 0; r < 3; ++r) {
+    batch.step_lanes(dts.data());
+    for (auto& t : twins) t.step(Time::us(10.0));
+  }
+
+  // Retire lanes 2 then 0 (store), refill in the opposite order with new
+  // runs, stepping survivors in between: no survivor may move a bit.
+  StackModel retired2{spec};
+  batch.store_lane(2, retired2);
+  expect_scalar_matches_scalar(retired2, twins[2]);
+  twins[0] = fresh_twin(twin_rng);  // refill lane 0 first (reverse order)
+  StackModel retired0{spec};
+  batch.store_lane(0, retired0);
+  batch.load_lane(0, twins[0]);
+  dts[2] = Time::zero();  // lane 2 idles while empty
+  batch.step_lanes(dts.data());
+  for (std::size_t v = 0; v < kLanes; ++v) {
+    if (v != 2) twins[v].step(Time::us(10.0));
+  }
+  twins[2] = fresh_twin(twin_rng);
+  batch.load_lane(2, twins[2]);
+  dts[2] = Time::us(10.0);
+
+  for (int r = 0; r < 3; ++r) {
+    batch.step_lanes(dts.data());
+    for (auto& t : twins) t.step(Time::us(10.0));
+  }
+  for (std::size_t v = 0; v < kLanes; ++v) {
+    SCOPED_TRACE("lane " + std::to_string(v));
+    expect_lane_matches_scalar(batch, v, twins[v]);
+  }
+}
+
+TEST(BatchThermalLifecycle, MixedGeometryLanesMatchTheirOwnScalarTwins) {
+  // Same grid dims and layer count, different materials / sink / TIM /
+  // ambient per lane: load_lane materializes per-lane conductance tables and
+  // every lane must still track its own scalar twin bit-for-bit.
+  Rng rng{0x314d'9e0dULL};
+  const StackSpec base = random_spec(rng);
+  constexpr std::size_t kLanes = 3;
+
+  BatchStackModel batch{base, kLanes};
+  EXPECT_FALSE(batch.mixed_geometry());
+
+  std::vector<StackSpec> variants;
+  std::vector<StackModel> twins;
+  for (std::size_t v = 0; v < kLanes; ++v) {
+    StackSpec s = base;  // keep floorplan + layer count, vary the physics
+    s.sink_r = ThermalResistance{0.2 + 0.5 * static_cast<double>(v)};
+    s.tim_r = base.tim_r * (1.0 + 0.4 * static_cast<double>(v));
+    s.sink_heat_capacity = base.sink_heat_capacity * (1.0 + static_cast<double>(v));
+    s.co_heater_watts = 1.5 * static_cast<double>(v);
+    s.ambient = Celsius{22.0 + 4.0 * static_cast<double>(v)};
+    for (auto& l : s.layers) l.conductivity *= 1.0 + 0.1 * static_cast<double>(v);
+    variants.push_back(s);
+    twins.emplace_back(s);
+    const auto maps = random_power(s, rng);
+    for (std::size_t l = 0; l < s.layers.size(); ++l) twins[v].set_layer_power(l, maps[l]);
+    batch.load_lane(v, twins[v]);
+  }
+  EXPECT_TRUE(batch.mixed_geometry());
+  // Mixed batches advance per-lane only; the uniform step() is rejected.
+  EXPECT_THROW(batch.step(Time::us(10.0)), ConfigError);
+
+  for (int round = 0; round < 5; ++round) {
+    Time dts[kLanes];
+    for (std::size_t v = 0; v < kLanes; ++v) {
+      // Distinct per-lane dt (and per-lane stable substep) every round.
+      dts[v] = (round + static_cast<int>(v)) % 3 == 0
+                   ? Time::zero()
+                   : Time::us(5.0 + 7.0 * static_cast<double>(v));
+      if (dts[v] > Time::zero()) {
+        ASSERT_EQ(batch.lane_stable_step(v), twins[v].stable_step());
+      }
+    }
+    batch.step_lanes(dts);
+    for (std::size_t v = 0; v < kLanes; ++v) {
+      if (dts[v] > Time::zero()) twins[v].step(dts[v]);
+      SCOPED_TRACE("round " + std::to_string(round) + " lane " + std::to_string(v));
+      expect_lane_matches_scalar(batch, v, twins[v]);
+    }
+  }
+}
+
 std::string read_doc(const std::string& path) {
   std::ifstream doc{path};
   EXPECT_TRUE(doc.is_open()) << path << " missing";

@@ -1,0 +1,211 @@
+// Lock-step batched sweep executor tests (DESIGN.md section 14): every
+// RunResult produced by the batched path -- any --sweep-batch width crossed
+// with any --jobs count, homogeneous or mixed cooling -- is bit-identical to
+// the scalar runner, the result cache interoperates, per-task executor
+// counters are recorded, and the documented contracts stay pinned.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/names.hpp"
+#include "obs/observer.hpp"
+#include "runner/experiment.hpp"
+#include "runner/sweep_batch.hpp"
+
+namespace coolpim::runner {
+namespace {
+
+const sys::WorkloadSet& set() {
+  static const sys::WorkloadSet s{14, 1};
+  return s;
+}
+
+/// Bit-for-bit RunResult comparison, timeseries included: the batched
+/// executor's contract is *bit*-identity, not closeness.
+void expect_identical(const sys::RunResult& a, const sys::RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.link_data_bytes, b.link_data_bytes);
+  EXPECT_EQ(a.link_raw_bytes, b.link_raw_bytes);
+  EXPECT_EQ(a.dram_internal_bytes, b.dram_internal_bytes);
+  EXPECT_EQ(a.pim_ops, b.pim_ops);
+  EXPECT_EQ(a.host_atomics, b.host_atomics);
+  EXPECT_EQ(a.cube_energy_j, b.cube_energy_j);
+  EXPECT_EQ(a.fan_energy_j, b.fan_energy_j);
+  EXPECT_EQ(a.peak_dram_temp.value(), b.peak_dram_temp.value());
+  EXPECT_EQ(a.start_dram_temp.value(), b.start_dram_temp.value());
+  EXPECT_EQ(a.thermal_warnings, b.thermal_warnings);
+  EXPECT_EQ(a.shut_down, b.shut_down);
+  EXPECT_EQ(a.time_above_normal, b.time_above_normal);
+  for (const auto& [ts_a, ts_b] :
+       {std::pair{&a.pim_rate, &b.pim_rate}, std::pair{&a.dram_temp, &b.dram_temp},
+        std::pair{&a.link_bw, &b.link_bw}}) {
+    EXPECT_EQ(ts_a->times(), ts_b->times());
+    EXPECT_EQ(ts_a->values(), ts_b->values());
+  }
+}
+
+/// The golden-matrix shape: two workloads x every scenario, plus a
+/// mixed-cooling tail so chunks hold lanes with differing sink networks
+/// (exercising the mixed-geometry table path end to end).  High-end active
+/// is the only non-default cooling that completes under max_time at this
+/// scale; the weaker sinks shut down indefinitely on scalar and batched
+/// paths alike.
+std::vector<Experiment> matrix_experiments() {
+  std::vector<Experiment> experiments;
+  for (const std::string workload : {"dc", "pagerank"}) {
+    for (const auto s : sys::kAllScenarios) {
+      Experiment e;
+      e.workload = workload;
+      e.config.scenario = s;
+      experiments.push_back(std::move(e));
+    }
+  }
+  for (const auto s : {sys::Scenario::kCoolPimHw, sys::Scenario::kCoolPimSw}) {
+    Experiment e;
+    e.workload = "dc";
+    e.config.scenario = s;
+    e.config.cooling = power::CoolingType::kHighEndActive;
+    experiments.push_back(std::move(e));
+  }
+  return experiments;
+}
+
+TEST(SweepBatch, BitIdenticalToScalarAtAnyBatchWidthAndJobs) {
+  const auto experiments = matrix_experiments();
+  RunOptions scalar;
+  scalar.jobs = 1;
+  scalar.use_cache = false;
+  const auto base = run_sweep(set(), experiments, scalar);
+
+  for (const unsigned batch : {2u, 8u}) {
+    for (const unsigned jobs : {1u, 8u}) {
+      SCOPED_TRACE("sweep_batch=" + std::to_string(batch) + " jobs=" + std::to_string(jobs));
+      RunOptions opt;
+      opt.sweep_batch = batch;
+      opt.jobs = jobs;
+      opt.use_cache = false;
+      const auto got = run_sweep(set(), experiments, opt);
+      ASSERT_EQ(got.size(), base.size());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE(base[i].workload + " / " + base[i].scenario);
+        expect_identical(got[i], base[i]);
+      }
+    }
+  }
+}
+
+TEST(SweepBatch, RunLockstepMatchesSystemRunDirectly) {
+  // The executor layer alone (no experiment key/cache protocol): a batch
+  // wider than the task list, so lanes sit empty and coast.
+  std::vector<SweepBatchTask> tasks;
+  for (const auto s : {sys::Scenario::kCoolPimHw, sys::Scenario::kNaiveOffloading,
+                       sys::Scenario::kNonOffloading}) {
+    SweepBatchTask t;
+    t.profile = &set().profile("kcore");
+    t.config.scenario = s;
+    t.config.run_seed = 7;
+    tasks.push_back(t);
+  }
+  const auto batched = run_lockstep(tasks, 8, 1);
+  ASSERT_EQ(batched.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    sys::System sys_run{tasks[i].config};
+    const auto want = sys_run.run(*tasks[i].profile);
+    SCOPED_TRACE(want.scenario);
+    expect_identical(batched[i], want);
+  }
+}
+
+TEST(SweepBatch, CacheInteroperatesWithTheScalarPath) {
+  clear_result_cache();
+  std::vector<Experiment> experiments;
+  Experiment e;
+  e.workload = "dc";
+  e.config.scenario = sys::Scenario::kCoolPimHw;
+  experiments.push_back(e);
+  e.config.scenario = sys::Scenario::kNonOffloading;
+  experiments.push_back(e);
+
+  // Batched sweep populates the cache under the same keys run_task uses...
+  RunOptions batched;
+  batched.sweep_batch = 4;
+  const auto first = run_sweep(set(), experiments, batched);
+  EXPECT_EQ(cache_stats().entries, 2u);
+  EXPECT_EQ(cache_stats().misses, 2u);
+
+  // ...so a scalar re-run hits, and a batched re-run resolves hits up front.
+  RunOptions scalar;
+  const auto scalar_again = run_sweep(set(), experiments, scalar);
+  EXPECT_EQ(cache_stats().hits, 2u);
+  const auto batched_again = run_sweep(set(), experiments, batched);
+  EXPECT_EQ(cache_stats().hits, 4u);
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    expect_identical(scalar_again[i], first[i]);
+    expect_identical(batched_again[i], first[i]);
+  }
+  clear_result_cache();
+}
+
+TEST(SweepBatch, PerTaskCountersAreRecordedAndJobsInvariant) {
+  const auto experiments = matrix_experiments();
+  const auto counters_at = [&](unsigned jobs) {
+    obs::SweepObserver obs{/*want_trace=*/true, /*want_counters=*/true};
+    RunOptions opt;
+    opt.sweep_batch = 4;
+    opt.jobs = jobs;
+    opt.use_cache = false;
+    opt.obs = &obs;
+    (void)run_sweep(set(), experiments, opt);
+    std::ostringstream csv;
+    obs.write_counters_csv(csv);
+    return csv.str();
+  };
+  const std::string serial = counters_at(1);
+  // Executor counters present: one task marker per record, epochs counted,
+  // the configured lane width as a gauge.
+  EXPECT_NE(serial.find(std::string{obs::names::kRunnerSweepBatchTasks}), std::string::npos);
+  EXPECT_NE(serial.find(std::string{obs::names::kRunnerSweepBatchEpochs}), std::string::npos);
+  EXPECT_NE(serial.find(std::string{obs::names::kRunnerSweepBatchLanes}), std::string::npos);
+  // Only per-run-invariant values are recorded, so the whole CSV -- executor
+  // counters included -- is byte-identical at any jobs count.
+  EXPECT_EQ(serial, counters_at(8));
+}
+
+std::string read_doc(const std::string& path) {
+  std::ifstream doc{path};
+  EXPECT_TRUE(doc.is_open()) << path << " missing";
+  std::ostringstream ss;
+  ss << doc.rdbuf();
+  return ss.str();
+}
+
+TEST(SweepBatchDocsSync, PerformanceDesignAndObservabilityDocumentTheExecutor) {
+  const std::string perf = read_doc(std::string{COOLPIM_DOCS_DIR} + "/PERFORMANCE.md");
+  for (const char* needle : {"## 8.", "run_lockstep", "--sweep-batch", "step_lanes",
+                             "bit-identical", "one chunk per worker"}) {
+    EXPECT_NE(perf.find(needle), std::string::npos)
+        << needle << " not documented in docs/PERFORMANCE.md";
+  }
+  const std::string design = read_doc(std::string{COOLPIM_REPO_DIR} + "/DESIGN.md");
+  for (const char* needle : {"## 14", "SystemRun", "note_stepped", "bind_lane",
+                             "lock-step", "h = 0"}) {
+    EXPECT_NE(design.find(needle), std::string::npos)
+        << needle << " not documented in DESIGN.md";
+  }
+  const std::string obs_doc = read_doc(std::string{COOLPIM_DOCS_DIR} + "/OBSERVABILITY.md");
+  for (const auto name :
+       {obs::names::kRunnerSweepBatchTasks, obs::names::kRunnerSweepBatchEpochs,
+        obs::names::kRunnerSweepBatchLanes}) {
+    EXPECT_NE(obs_doc.find(std::string{name}), std::string::npos)
+        << name << " not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+}  // namespace
+}  // namespace coolpim::runner

@@ -158,5 +158,40 @@ int main() {
                   std::abs(settled - steady) < 0.1 ? "" : "   <-- DISAGREE");
     }
   }
+  // Fleet grid-mode derate constant: GridThermalConfig::watts_per_c converts
+  // the RC load signal (degC of heat_weighted_ms / epoch_ms) into logic-die
+  // watts, so the grid's steady peak-DRAM response lands on the RC model's
+  // steady target (ambient + load_c).  The fit is just the reciprocal of the
+  // grid's junction-to-ambient resistance, measured the same way the fleet
+  // reads the stack: inject 1 W uniform on the logic die, solve steady, take
+  // the peak over the DRAM layers.  heat_capacity_scale compresses the time
+  // constant only -- the steady response, and hence this fit, is unaffected.
+  std::printf("\n== Fleet grid watts_per_c fit (hbm_stack_spec; docs/FLEET.md) ==\n");
+  {
+    struct GridCase { std::size_t dies, nx, ny; };
+    const GridCase grids[] = {{8, 8, 8}, {16, 8, 8}, {8, 16, 16}};
+    for (const auto& g : grids) {
+      const thermal::StackSpec spec = thermal::hbm_stack_spec(g.dies, g.nx, g.ny);
+      thermal::StackModel m{spec};
+      m.set_layer_power(0, thermal::uniform_power(spec.floorplan, 1.0));
+      m.solve_steady();
+      const std::size_t top = m.layer_count() - 1;
+      const double r_ja = m.peak_over_layers(1, top).value() - spec.ambient.value();
+      const double fit = 1.0 / r_ja;
+      // Linearity cross-check: the RC network is linear in power, so a
+      // 20 degC load signal through the fitted constant must come back as a
+      // 20 degC peak-DRAM rise (up to solver tolerance).
+      const double load_c = 20.0;
+      m.set_layer_power(0, thermal::uniform_power(spec.floorplan, fit * load_c));
+      m.solve_steady();
+      const double rise = m.peak_over_layers(1, top).value() - spec.ambient.value();
+      std::printf(
+          "%2zu dies %2zux%-2zu  R_ja %.4f C/W  watts_per_c %.4f%s  "
+          "check: %.0f C load -> %.2f C rise\n",
+          g.dies, g.nx, g.ny, r_ja, fit,
+          (g.dies == 8 && g.nx == 8 && g.ny == 8) ? "  (shipped default 0.9)" : "",
+          load_c, rise);
+    }
+  }
   return 0;
 }

@@ -1,18 +1,30 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json files emitted by the perf harness.
 
-Schema check only -- no performance thresholds.  CI runs the perf binaries at
---quick scale and uploads the JSONs as artifacts; this script guards the
-contract that downstream tooling (and humans diffing artifacts across PRs)
-relies on: the schema tag, the required keys, their types, and that every
-number is finite and non-negative.
+Schema check by default -- no performance thresholds.  CI runs the perf
+binaries at --quick scale and uploads the JSONs as artifacts; this script
+guards the contract that downstream tooling (and humans diffing artifacts
+across PRs) relies on: the schema tag, the required keys, their types, and
+that every number is finite and non-negative.
+
+With --baseline-dir DIR (the repo commits bench/baselines/), each file is
+additionally compared against the committed baseline of the same schema:
+every throughput-style metric (higher-is-better rates and speedups) that
+regressed by more than --regress-pct (default 20) is reported.  Regressions
+WARN by default -- perf varies across machines, so the baselines make
+BENCH_*.json trajectories actionable without gating CI on hardware -- and
+fail the run only under --strict.
 
 Usage:
     python3 tools/check_bench.py BENCH_thermal.json [BENCH_sim.json ...]
+    python3 tools/check_bench.py --baseline-dir bench/baselines BENCH_sim.json
 """
 
+import argparse
+import glob
 import json
 import math
+import os
 import sys
 
 NUM = (int, float)
@@ -163,7 +175,7 @@ SCHEMAS = {
         "gate.jobs_bit_identical": bool,
         "gate.pass": bool,
     },
-    "coolpim-bench-sim/1": {
+    "coolpim-bench-sim/2": {
         "quick": bool,
         "queue.events": NUM,
         "queue.wall_ms": NUM,
@@ -181,7 +193,46 @@ SCHEMAS = {
         "end_to_end.runs[].wall_ms": NUM,
         "end_to_end.runs[].sim_time_ms": NUM,
         "end_to_end.runs[].peak_dram_c": NUM,
+        "sweep_batch.experiments": NUM,
+        "sweep_batch.scalar_wall_ms": NUM,
+        "sweep_batch.b1_wall_ms": NUM,
+        "sweep_batch.b8_wall_ms": NUM,
+        "sweep_batch.b1_sweep_wall_ms": NUM,
+        "sweep_batch.b8_sweep_wall_ms": NUM,
+        "sweep_batch.b1_sweep_rounds": NUM,
+        "sweep_batch.b8_sweep_rounds": NUM,
+        "sweep_batch.epochs": NUM,
+        "sweep_batch.sweep_speedup_b8_vs_b1": NUM,
+        "sweep_batch.bit_identical": bool,
+        "sweep_batch.gate_pass": bool,
     },
+}
+
+# Baseline comparison (--baseline-dir): throughput-style metrics where HIGHER
+# is better.  A current value more than --regress-pct below the committed
+# baseline's is a regression.  Wall-clock keys are deliberately absent --
+# they swing with machine load and scale flags; rates and speedup ratios are
+# the stable signal.
+THROUGHPUT_KEYS = {
+    "coolpim-bench-thermal/2": [
+        "transient.speedup",
+        "steady.iteration_reduction",
+        "batch.b1_cells_substeps_per_sec",
+        "batch.b8_cells_substeps_per_sec",
+        "batch.b64_cells_substeps_per_sec",
+        "batch.speedup_b64_vs_b1",
+        "tall_stack.speedup",
+    ],
+    "coolpim-bench-graph/1": [
+        "construction.speedup",
+        "cache.warm_speedup_vs_serial",
+        "csr.speedup",
+    ],
+    "coolpim-bench-sim/2": [
+        "queue.events_per_sec",
+        "periodic.events_per_sec",
+        "sweep_batch.sweep_speedup_b8_vs_b1",
+    ],
 }
 
 
@@ -240,13 +291,95 @@ def check_file(path):
                 if value < 0:
                     fail(f"{where}: value must be non-negative, got {value}")
     print(f"check_bench: {path} OK ({schema})")
+    return doc, schema
+
+
+def load_baseline(baseline_dir, schema, path):
+    """Find the committed baseline with the same schema tag, or None."""
+    for candidate in sorted(glob.glob(os.path.join(baseline_dir, "*.json"))):
+        with open(candidate, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{candidate}: baseline is not valid JSON: {e}")
+        if isinstance(doc, dict) and doc.get("schema") == schema:
+            return doc, candidate
+    print(f"check_bench: {path}: no baseline for {schema} in {baseline_dir} (skipped)")
+    return None, None
+
+
+def scalar_value(doc, dotted):
+    """Walk a dotted path of plain keys (no [] fan-out); None if absent."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare_to_baseline(doc, schema, path, baseline_dir, regress_pct):
+    base, base_path = load_baseline(baseline_dir, schema, path)
+    if base is None:
+        return []
+    regressions = []
+    for key in THROUGHPUT_KEYS.get(schema, []):
+        ref = scalar_value(base, key)
+        cur = scalar_value(doc, key)
+        if not isinstance(ref, NUM) or isinstance(ref, bool) or ref <= 0:
+            continue
+        if not isinstance(cur, NUM) or isinstance(cur, bool):
+            fail(f"{path}: '{key}' present in baseline {base_path} but not here")
+        drop_pct = 100.0 * (ref - cur) / ref
+        if drop_pct > regress_pct:
+            regressions.append((key, ref, cur, drop_pct))
+    if regressions:
+        for key, ref, cur, drop_pct in regressions:
+            print(
+                f"check_bench: WARNING {path}: {key} regressed {drop_pct:.1f}% "
+                f"vs {base_path} ({ref:g} -> {cur:g})",
+                file=sys.stderr,
+            )
+    else:
+        print(f"check_bench: {path} within {regress_pct:g}% of {base_path}")
+    return regressions
 
 
 def main(argv):
-    if len(argv) < 2:
-        fail(f"usage: {argv[0]} BENCH_file.json [...]")
-    for path in argv[1:]:
-        check_file(path)
+    parser = argparse.ArgumentParser(
+        description="Schema-check BENCH_*.json files; optionally compare "
+        "throughput metrics against committed baselines."
+    )
+    parser.add_argument("files", nargs="+", metavar="BENCH_file.json")
+    parser.add_argument(
+        "--baseline-dir",
+        help="directory of committed baseline JSONs (e.g. bench/baselines); "
+        "matched to each file by schema tag",
+    )
+    parser.add_argument(
+        "--regress-pct",
+        type=float,
+        default=20.0,
+        help="warn when a throughput metric drops more than this percent "
+        "below its baseline (default 20)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on baseline regressions instead of warning",
+    )
+    args = parser.parse_args(argv[1:])
+
+    any_regressed = False
+    for path in args.files:
+        doc, schema = check_file(path)
+        if args.baseline_dir:
+            regressed = compare_to_baseline(
+                doc, schema, path, args.baseline_dir, args.regress_pct
+            )
+            any_regressed = any_regressed or bool(regressed)
+    if any_regressed and args.strict:
+        fail("baseline regressions found (--strict)")
 
 
 if __name__ == "__main__":
