@@ -15,6 +15,14 @@
 //    HMC -> power -> thermal -> throttle loop) for representative workloads
 //    under the paper's scenarios, timed per run.
 //
+//  - backend (gated): the hmc::Backend fidelity tiers (DESIGN.md section
+//    15).  Cross-validates the analytic epoch-throughput tier against the
+//    instruction-level pim-vault tier on every GraphBIG micro-kernel
+//    (pim::cross_validate, tolerance pim::kXvalTolerance) and times the
+//    per-epoch serve cost of all three tiers, so the tier-cost ratio --
+//    the reason epoch-throughput is the default -- stays visible in CI
+//    artifacts.  A kernel outside tolerance fails the binary (exit 1).
+//
 //  - sweep_batch (gated): the lock-step batched sweep executor
 //    (runner::run_lockstep, docs/PERFORMANCE.md section 8) on the
 //    fig-10-shaped scenario matrix.  Re-checks RunResult bit-identity
@@ -26,11 +34,15 @@
 //
 // Flags: --out FILE (default BENCH_sim.json), --quick (CI smoke: fewer
 // events, tiny graph scale), --scale N (graph scale override).
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "hmc/backend.hpp"
+#include "pim/programs.hpp"
+#include "pim/xval.hpp"
 #include "runner/experiment.hpp"
 #include "runner/sweep_batch.hpp"
 #include "sim/simulation.hpp"
@@ -234,6 +246,64 @@ SweepBatchResult measure_sweep_batch(const sys::WorkloadSet& set, std::size_t n_
   return r;
 }
 
+struct BackendXvalRow {
+  std::string kernel;
+  pim::XvalPoint point;
+  bool pass;
+};
+
+struct BackendResult {
+  unsigned xval_epochs;
+  std::vector<BackendXvalRow> xval;
+  double epoch_throughput_ns_per_epoch;
+  double event_detailed_ns_per_epoch;
+  double pim_vault_ns_per_epoch;
+  bool gate_pass;
+};
+
+/// Wall time per served epoch of one fidelity tier under saturating mixed
+/// demand -- the cost a full run pays every ~10 us of simulated time.
+double backend_ns_per_epoch(hmc::BackendKind kind, unsigned epochs) {
+  hmc::BackendBuild build;
+  build.kind = kind;
+  const auto backend = hmc::make_backend(build);
+  const Time epoch = Time::us(10.0);
+  hmc::EpochDemand demand;
+  demand.reads = 4e9 * epoch.as_sec();
+  demand.writes = 2e9 * epoch.as_sec();
+  demand.pim_ops = 6e9 * epoch.as_sec();
+  demand.pim_return_fraction = 0.25;
+  bench::StopWatch clock;
+  for (unsigned i = 0; i < epochs; ++i) {
+    (void)backend->serve(demand, epoch, Celsius{60.0});
+  }
+  return clock.elapsed_ms() * 1e6 / static_cast<double>(epochs);
+}
+
+/// The fidelity-tier section: per-kernel cross-validation (the same harness
+/// tools/xval_backends gates CI on) plus per-epoch serve cost of each tier.
+BackendResult measure_backends(bool quick) {
+  BackendResult r{};
+  r.xval_epochs = quick ? 8 : 40;
+  r.gate_pass = true;
+  for (const auto kernel : pim::kMicroKernels) {
+    BackendXvalRow row;
+    row.kernel = std::string{kernel};
+    row.point = pim::cross_validate(kernel, Celsius{60.0}, r.xval_epochs);
+    row.pass = std::abs(row.point.ratio - 1.0) <= pim::kXvalTolerance;
+    r.gate_pass = r.gate_pass && row.pass;
+    r.xval.push_back(std::move(row));
+  }
+  const unsigned timing_epochs = quick ? 100 : 1000;
+  r.epoch_throughput_ns_per_epoch =
+      backend_ns_per_epoch(hmc::BackendKind::kEpochThroughput, timing_epochs);
+  r.event_detailed_ns_per_epoch =
+      backend_ns_per_epoch(hmc::BackendKind::kEventDetailed, timing_epochs);
+  r.pim_vault_ns_per_epoch =
+      backend_ns_per_epoch(hmc::BackendKind::kPimVault, timing_epochs);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,9 +326,10 @@ int main(int argc, char** argv) {
   // speedup assertion (identity still enforced).
   const SweepBatchResult sb =
       measure_sweep_batch(set, quick ? 1 : sys::workload_names().size(), quick);
+  const BackendResult be = measure_backends(quick);
 
   bench::JsonWriter json;
-  json.kv("schema", "coolpim-bench-sim/2");
+  json.kv("schema", "coolpim-bench-sim/3");
   json.kv("quick", quick);
   json.begin_object("queue");
   json.kv("events", q.events);
@@ -302,6 +373,25 @@ int main(int argc, char** argv) {
   json.kv("bit_identical", sb.bit_identical);
   json.kv("gate_pass", sb.gate_pass);
   json.end();
+  json.begin_object("backend");
+  json.kv("xval_epochs", static_cast<std::uint64_t>(be.xval_epochs));
+  json.kv("xval_tolerance", pim::kXvalTolerance);
+  json.begin_array("xval");
+  for (const auto& row : be.xval) {
+    json.begin_object();
+    json.kv("kernel", row.kernel);
+    json.kv("epoch_op_per_ns", row.point.epoch_op_per_ns);
+    json.kv("pim_op_per_ns", row.point.pim_op_per_ns);
+    json.kv("ratio", row.point.ratio);
+    json.kv("pass", row.pass);
+    json.end();
+  }
+  json.end();
+  json.kv("epoch_throughput_ns_per_epoch", be.epoch_throughput_ns_per_epoch);
+  json.kv("event_detailed_ns_per_epoch", be.event_detailed_ns_per_epoch);
+  json.kv("pim_vault_ns_per_epoch", be.pim_vault_ns_per_epoch);
+  json.kv("gate_pass", be.gate_pass);
+  json.end();
   const std::string doc = json.str();
 
   if (!bench::write_text_file(out, doc)) {
@@ -319,11 +409,25 @@ int main(int argc, char** argv) {
             << " ms at batch 8 (" << sb.sweep_speedup
             << "x, bit-identical=" << (sb.bit_identical ? "yes" : "NO")
             << "); scalar/b8 total " << sb.scalar_wall_ms << "/" << sb.b8_wall_ms << " ms\n"
+            << "Backend:   serve cost " << be.epoch_throughput_ns_per_epoch << " / "
+            << be.event_detailed_ns_per_epoch << " / " << be.pim_vault_ns_per_epoch
+            << " ns per epoch (epoch-throughput / event-detailed / pim-vault); xval "
+            << (be.gate_pass ? "within" : "OUTSIDE") << " tolerance "
+            << pim::kXvalTolerance << " on " << be.xval.size() << " kernels\n"
             << "Results written to " << out << "\n";
   if (!sb.gate_pass) {
     std::cerr << "perf_sim: sweep_batch gate FAILED (bit_identical="
               << (sb.bit_identical ? "yes" : "no") << ", sweep speedup " << sb.sweep_speedup
               << "x, need >= 2x at batch 8)\n";
+    return 1;
+  }
+  if (!be.gate_pass) {
+    for (const auto& row : be.xval) {
+      if (!row.pass) {
+        std::cerr << "perf_sim: backend xval FAILED for " << row.kernel << " (ratio "
+                  << row.point.ratio << ", tolerance " << pim::kXvalTolerance << ")\n";
+      }
+    }
     return 1;
   }
   return 0;

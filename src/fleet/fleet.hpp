@@ -30,6 +30,7 @@
 #include "fleet/balancer.hpp"
 #include "fleet/node.hpp"
 #include "fleet/request.hpp"
+#include "hmc/fidelity_names.hpp"
 #include "obs/observer.hpp"
 #include "sys/metrics.hpp"
 
@@ -45,6 +46,16 @@ enum class ThermalFidelity {
   /// lane-major SoA batch per epoch (docs/PERFORMANCE.md section 7).
   kGrid,
 };
+
+/// Fidelity names come from the shared vocabulary header (DESIGN.md
+/// section 15), like the --hmc-backend tier names.
+[[nodiscard]] constexpr std::string_view to_string(ThermalFidelity f) {
+  switch (f) {
+    case ThermalFidelity::kRc: return hmc::fidelity::kFleetRc;
+    case ThermalFidelity::kGrid: return hmc::fidelity::kFleetGrid;
+  }
+  return "?";
+}
 
 /// Grid-fidelity sub-config.  Read -- and hashed into fleet_key() -- only
 /// when FleetConfig::thermal == ThermalFidelity::kGrid, so kRc experiment

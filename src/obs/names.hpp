@@ -27,6 +27,7 @@ inline constexpr std::string_view kCatRunner = "runner";
 inline constexpr std::string_view kCatFault = "fault";
 inline constexpr std::string_view kCatControl = "control";
 inline constexpr std::string_view kCatFleet = "fleet";
+inline constexpr std::string_view kCatPim = "pim";
 
 // ---- Counters (monotonic event tallies) ------------------------------------
 // sim
@@ -94,6 +95,10 @@ inline constexpr std::string_view kFleetRequestsServed = "fleet/requests_served"
 inline constexpr std::string_view kFleetRequestsShed = "fleet/requests_shed";
 inline constexpr std::string_view kFleetRequestsDeferred = "fleet/requests_deferred";
 inline constexpr std::string_view kFleetNodeWarnings = "fleet/node_warnings";
+// pim (instruction-level vault backend; emitted under --hmc-backend pim-vault)
+inline constexpr std::string_view kPimProgramExecutions = "pim/program_executions";
+inline constexpr std::string_view kPimCrfInstructions = "pim/crf_instructions";
+inline constexpr std::string_view kPimBankConflicts = "pim/bank_conflicts";
 
 // ---- Gauges (sampled instantaneous values) ---------------------------------
 inline constexpr std::string_view kGpuPimFraction = "gpu/pim_fraction";
@@ -111,7 +116,7 @@ inline constexpr std::string_view kFleetAggOpPerNs = "fleet/agg_op_per_ns";
 // ---- Catalogues (docs-sync anchors) ----------------------------------------
 inline constexpr std::string_view kAllCategories[] = {
     kCatSim, kCatThermal, kCatCore, kCatHmc, kCatGpu, kCatSys, kCatRunner, kCatFault,
-    kCatControl, kCatFleet,
+    kCatControl, kCatFleet, kCatPim,
 };
 
 inline constexpr std::string_view kAllCounters[] = {
@@ -163,6 +168,9 @@ inline constexpr std::string_view kAllCounters[] = {
     kFleetRequestsShed,
     kFleetRequestsDeferred,
     kFleetNodeWarnings,
+    kPimProgramExecutions,
+    kPimCrfInstructions,
+    kPimBankConflicts,
 };
 
 inline constexpr std::string_view kAllGauges[] = {

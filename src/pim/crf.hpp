@@ -1,0 +1,106 @@
+// CRF (Command Register File) instruction format for the in-vault PIM unit.
+//
+// The related PIM-DRAM microarchitectures (hiepik pim_project's PimUnit,
+// youngsukpp DRAMsim3's decode-cycle model -- SNIPPETS.md) expose PIM
+// execution as a tiny stored program: the host writes a short instruction
+// sequence into the vault's CRF, then each triggering command steps a
+// program counter (PPC) through it, with a loop counter (LC) implementing
+// counted JUMP loops.  This header is the in-simulator ISA: PIM operand ops
+// reuse hmc::PimOpcode (HMC 2.0 atomics + GraphPIM FP extensions), control
+// flow is JUMP/EXIT, and programs are validated at load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hmc/pim.hpp"
+
+namespace coolpim::pim {
+
+enum class CrfOpcode : std::uint8_t {
+  kNop,   // fetch/decode only
+  kPim,   // one hmc::PimOpcode RMW on a bank operand
+  kJump,  // counted loop: displacement imm0, trip count imm1
+  kExit,  // program done; PPC resets
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CrfOpcode op) {
+  switch (op) {
+    case CrfOpcode::kNop: return "NOP";
+    case CrfOpcode::kPim: return "PIM";
+    case CrfOpcode::kJump: return "JUMP";
+    case CrfOpcode::kExit: return "EXIT";
+  }
+  return "?";
+}
+
+struct CrfInstr {
+  CrfOpcode op{CrfOpcode::kNop};
+  /// Operand opcode; meaningful for kPim only.
+  hmc::PimOpcode pim{hmc::PimOpcode::kSignedAdd8};
+  /// kJump: signed PPC displacement (negative = loop backwards).
+  std::int32_t imm0{0};
+  /// kJump: loop trip count loaded into LC on first encounter; the body
+  /// executes imm1 + 1 times total (hiepik LC semantics).
+  std::uint32_t imm1{0};
+
+  bool operator==(const CrfInstr&) const = default;
+};
+
+[[nodiscard]] constexpr CrfInstr crf_pim(hmc::PimOpcode op) {
+  CrfInstr i;
+  i.op = CrfOpcode::kPim;
+  i.pim = op;
+  return i;
+}
+
+[[nodiscard]] constexpr CrfInstr crf_jump(std::int32_t displacement, std::uint32_t trips) {
+  CrfInstr i;
+  i.op = CrfOpcode::kJump;
+  i.imm0 = displacement;
+  i.imm1 = trips;
+  return i;
+}
+
+[[nodiscard]] constexpr CrfInstr crf_exit() {
+  CrfInstr i;
+  i.op = CrfOpcode::kExit;
+  return i;
+}
+
+/// A validated CRF program: must end in EXIT, every JUMP must land inside
+/// the program, and at least one PIM op must be reachable (a program that
+/// never touches memory is a host bug, not a workload).
+struct CrfProgram {
+  std::string name;
+  std::vector<CrfInstr> instrs;
+
+  void validate() const {
+    COOLPIM_REQUIRE(!instrs.empty(), "CRF program '" + name + "' is empty");
+    COOLPIM_REQUIRE(instrs.back().op == CrfOpcode::kExit,
+                    "CRF program '" + name + "' must end in EXIT");
+    bool has_pim = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const CrfInstr& ins = instrs[i];
+      if (ins.op == CrfOpcode::kPim) has_pim = true;
+      if (ins.op == CrfOpcode::kJump) {
+        const auto target = static_cast<std::int64_t>(i) + ins.imm0;
+        COOLPIM_REQUIRE(target >= 0 && target < static_cast<std::int64_t>(instrs.size()),
+                        "CRF program '" + name + "': JUMP at " + std::to_string(i) +
+                            " leaves the program");
+      }
+    }
+    COOLPIM_REQUIRE(has_pim, "CRF program '" + name + "' performs no PIM op");
+  }
+
+  /// PIM operand ops one full execution performs (loops unrolled).
+  [[nodiscard]] std::uint64_t pim_ops_per_execution() const;
+
+  /// Fraction of the executed PIM ops whose opcode returns data (FLIT-cost
+  /// relevant; hmc::returns_data).
+  [[nodiscard]] double return_fraction() const;
+};
+
+}  // namespace coolpim::pim

@@ -1,0 +1,141 @@
+#include "pim/programs.hpp"
+
+#include "common/error.hpp"
+
+namespace coolpim::pim {
+
+std::uint64_t CrfProgram::pim_ops_per_execution() const {
+  // Walk the program exactly as PimUnit does (loops included); bounded by
+  // validate()'s structural checks plus a generous step cap.
+  std::uint64_t ops = 0;
+  std::uint32_t lc = 0;
+  std::size_t ppc = 0;
+  for (std::uint64_t steps = 0; steps < 1u << 20; ++steps) {
+    const CrfInstr& ins = instrs[ppc];
+    switch (ins.op) {
+      case CrfOpcode::kNop:
+        ++ppc;
+        break;
+      case CrfOpcode::kPim:
+        ++ops;
+        ++ppc;
+        break;
+      case CrfOpcode::kJump:
+        if (lc == 0) {
+          lc = ins.imm1;
+          if (lc == 0) {
+            ++ppc;  // zero-trip loop: fall through
+          } else {
+            ppc = static_cast<std::size_t>(static_cast<std::int64_t>(ppc) + ins.imm0);
+          }
+        } else if (lc > 1) {
+          --lc;
+          ppc = static_cast<std::size_t>(static_cast<std::int64_t>(ppc) + ins.imm0);
+        } else {
+          lc = 0;
+          ++ppc;
+        }
+        break;
+      case CrfOpcode::kExit:
+        return ops;
+    }
+  }
+  throw ConfigError("CRF program '" + name + "' did not reach EXIT");
+}
+
+double CrfProgram::return_fraction() const {
+  // Same walk, counting returning opcodes.
+  std::uint64_t ops = 0, returning = 0;
+  std::uint32_t lc = 0;
+  std::size_t ppc = 0;
+  for (std::uint64_t steps = 0; steps < 1u << 20; ++steps) {
+    const CrfInstr& ins = instrs[ppc];
+    switch (ins.op) {
+      case CrfOpcode::kNop:
+        ++ppc;
+        break;
+      case CrfOpcode::kPim:
+        ++ops;
+        if (hmc::returns_data(ins.pim)) ++returning;
+        ++ppc;
+        break;
+      case CrfOpcode::kJump:
+        if (lc == 0) {
+          lc = ins.imm1;
+          if (lc == 0) {
+            ++ppc;
+          } else {
+            ppc = static_cast<std::size_t>(static_cast<std::int64_t>(ppc) + ins.imm0);
+          }
+        } else if (lc > 1) {
+          --lc;
+          ppc = static_cast<std::size_t>(static_cast<std::int64_t>(ppc) + ins.imm0);
+        } else {
+          lc = 0;
+          ++ppc;
+        }
+        break;
+      case CrfOpcode::kExit:
+        return ops > 0 ? static_cast<double>(returning) / static_cast<double>(ops) : 0.0;
+    }
+  }
+  throw ConfigError("CRF program '" + name + "' did not reach EXIT");
+}
+
+CrfProgram micro_kernel(std::string_view name) {
+  CrfProgram p;
+  p.name = std::string{name};
+  if (name == kKernelBfs) {
+    // BFS frontier expansion: conditionally claim the neighbour's level
+    // (CAS-greater on the level word) then mark it visited in the bitmap,
+    // over a 16-neighbour segment.
+    p.instrs = {
+        crf_pim(hmc::PimOpcode::kCasGreater),
+        crf_pim(hmc::PimOpcode::kOr),
+        crf_jump(-2, 15),
+        crf_exit(),
+    };
+  } else if (name == kKernelPagerank) {
+    // PageRank push phase: accumulate the source's contribution into each
+    // neighbour's rank (GraphPIM FP-add extension), 16-neighbour segment.
+    p.instrs = {
+        crf_pim(hmc::PimOpcode::kFpAdd),
+        crf_jump(-1, 15),
+        crf_exit(),
+    };
+  } else if (name == kKernelSssp) {
+    // SSSP relaxation: FP-min the tentative distance, then CAS the parent
+    // pointer when the distance improved, over an 8-edge segment.
+    p.instrs = {
+        crf_pim(hmc::PimOpcode::kFpMin),
+        crf_pim(hmc::PimOpcode::kCasGreater),
+        crf_jump(-2, 7),
+        crf_exit(),
+    };
+  } else if (name == kKernelCc) {
+    // Connected components label propagation: CAS the smaller component id
+    // into the neighbour, count converged lanes in a shared accumulator.
+    p.instrs = {
+        crf_pim(hmc::PimOpcode::kCasGreater),
+        crf_jump(-1, 14),
+        crf_pim(hmc::PimOpcode::kSignedAdd8),
+        crf_exit(),
+    };
+  } else {
+    throw ConfigError("unknown pim micro-kernel '" + std::string{name} +
+                      "' (registered: " + micro_kernel_names() + ")");
+  }
+  p.validate();
+  return p;
+}
+
+std::string micro_kernel_names() {
+  std::string names;
+  for (const std::string_view k : kMicroKernels) {
+    if (!names.empty()) names += ", ";
+    names += k;
+  }
+  return names;
+}
+
+}  // namespace coolpim::pim

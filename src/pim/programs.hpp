@@ -1,0 +1,41 @@
+// GraphBIG micro-kernels lowered to CRF programs.
+//
+// Each micro-kernel is one destination-vertex update loop of the GraphBIG
+// kernel it is named after, expressed as the short CRF program the host
+// would stage before triggering PIM execution over a neighbour list
+// (GraphPIM's offload unit: the graph-property atomic in the inner loop).
+// The loop trip counts model a typical neighbour-list segment; what matters
+// for timing is the instruction mix and the per-iteration operand pattern,
+// not the absolute count.
+//
+// The exported kMicroKernels vocabulary is shared by --hmc-backend's
+// pim-vault tier, tools/xval_backends, bench/perf_sim's backend section and
+// EXPERIMENTS.md's cross-validation table.
+#pragma once
+
+#include <string_view>
+
+#include "pim/crf.hpp"
+
+namespace coolpim::pim {
+
+inline constexpr std::string_view kKernelBfs = "bfs";
+inline constexpr std::string_view kKernelPagerank = "pagerank";
+inline constexpr std::string_view kKernelSssp = "sssp";
+inline constexpr std::string_view kKernelCc = "cc";
+
+inline constexpr std::string_view kMicroKernels[] = {
+    kKernelBfs, kKernelPagerank, kKernelSssp, kKernelCc};
+
+/// The default micro-kernel the pim-vault backend lowers PIM demand to when
+/// the build does not name one (the arithmetic-heaviest of the set).
+inline constexpr std::string_view kDefaultKernel = kKernelPagerank;
+
+/// Build the named micro-kernel's CRF program; throws ConfigError for an
+/// unknown name (message lists the registered kernels).
+[[nodiscard]] CrfProgram micro_kernel(std::string_view name);
+
+/// Comma-separated registered kernel names, for error messages and --help.
+[[nodiscard]] std::string micro_kernel_names();
+
+}  // namespace coolpim::pim

@@ -1,0 +1,44 @@
+#include "pim/xval.hpp"
+
+#include "common/error.hpp"
+#include "hmc/backend.hpp"
+#include "pim/programs.hpp"
+
+namespace coolpim::pim {
+
+XvalPoint cross_validate(std::string_view kernel, Celsius temp, unsigned epochs) {
+  COOLPIM_REQUIRE(epochs > 0, "cross-validation needs at least one epoch");
+  const CrfProgram program = micro_kernel(kernel);
+
+  hmc::BackendBuild build;
+  build.hmc = hmc::hmc20_config();
+  build.seed = 7;
+  build.pim_kernel = std::string{kernel};
+  build.kind = hmc::BackendKind::kEpochThroughput;
+  const auto epoch_backend = hmc::make_backend(build);
+  build.kind = hmc::BackendKind::kPimVault;
+  const auto pim_backend = hmc::make_backend(build);
+
+  // Saturating pure-PIM demand: 20 G op/s offered is well past both tiers'
+  // caps (analytic internal-bandwidth cap ~8 op/ns), so each epoch serves at
+  // the tier's saturated rate and the comparison is cap vs cap, not
+  // demand-following.
+  const Time epoch = Time::us(10.0);
+  hmc::EpochDemand demand;
+  demand.pim_ops = 20e9 * epoch.as_sec();
+  demand.pim_return_fraction = program.return_fraction();
+
+  XvalPoint p;
+  double epoch_ops = 0.0, pim_ops = 0.0;
+  for (unsigned i = 0; i < epochs; ++i) {
+    epoch_ops += epoch_backend->serve(demand, epoch, temp).pim_ops;
+    pim_ops += pim_backend->serve(demand, epoch, temp).pim_ops;
+  }
+  const double total_ns = epoch.as_ns() * epochs;
+  p.epoch_op_per_ns = epoch_ops / total_ns;
+  p.pim_op_per_ns = pim_ops / total_ns;
+  p.ratio = p.epoch_op_per_ns > 0.0 ? p.pim_op_per_ns / p.epoch_op_per_ns : 0.0;
+  return p;
+}
+
+}  // namespace coolpim::pim

@@ -258,6 +258,13 @@ std::uint64_t config_hash(const sys::SystemConfig& cfg) {
     h.add(true);
     hash_policy_table(h, cfg.policy_table);
   }
+  // Backend fidelity tier: hashed only off the default tier, same
+  // key-stability reasoning again (the default tier is byte-identical to the
+  // pre-contract simulator, so pre-contract keys stay valid for it).
+  if (cfg.backend != hmc::BackendKind::kEpochThroughput) {
+    h.add(true);
+    h.add(cfg.backend);
+  }
   return h.digest();
 }
 

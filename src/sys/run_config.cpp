@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "control/registry.hpp"
+#include "hmc/backend.hpp"
 #include "sys/system.hpp"
 
 namespace coolpim::sys {
@@ -66,6 +67,8 @@ const Knob kKnobs[] = {
      [](RunConfig& rc, std::string_view, const char* v) { rc.policy = v; }},
     {"COOLPIM_POLICY_TABLE", "--policy-table",
      [](RunConfig& rc, std::string_view, const char* v) { rc.policy_table_path = v; }},
+    {"COOLPIM_HMC_BACKEND", "--hmc-backend",
+     [](RunConfig& rc, std::string_view, const char* v) { rc.hmc_backend = v; }},
     {"COOLPIM_FLEET_NODES", "--fleet-nodes",
      [](RunConfig& rc, std::string_view n, const char* v) {
        rc.fleet_nodes = static_cast<unsigned>(parse_u64(n, v));
@@ -149,6 +152,12 @@ void RunConfig::validate() const {
                     "unknown policy '" + policy + "' (registered: " +
                         control::policy_names() + ")");
   }
+  if (!hmc_backend.empty()) {
+    hmc::BackendKind unused;
+    COOLPIM_REQUIRE(hmc::backend_from_name(hmc_backend, unused),
+                    "unknown hmc backend '" + hmc_backend + "' (registered: " +
+                        hmc::backend_names() + ")");
+  }
   fault.validate();
 }
 
@@ -214,6 +223,10 @@ void RunConfig::apply_to(SystemConfig& cfg) const {
   if (!policy_table_path.empty()) {
     cfg.policy_table.table = control::load_policy_table(policy_table_path);
   }
+  if (!hmc_backend.empty()) {
+    COOLPIM_REQUIRE(hmc::backend_from_name(hmc_backend, cfg.backend),
+                    "unknown hmc backend '" + hmc_backend + "'");
+  }
 }
 
 WorkloadSet::BuildOptions RunConfig::build_options() const {
@@ -234,6 +247,9 @@ std::string RunConfig::flags_help() {
          control::policy_names() +
          ")\n"
          "  --policy-table FILE  fitted policy-table CSV (policy-table only)\n"
+         "  --hmc-backend NAME   HMC service fidelity tier (" +
+         hmc::backend_names() +
+         ")\n"
          "  --fleet-nodes N      fleet tier: GPU+HMC node count (1..4096)\n"
          "  --arrival-rate R     fleet tier: open-loop arrivals per second\n"
          "  --balancer NAME      fleet tier: round-robin, join-shortest-queue,\n"

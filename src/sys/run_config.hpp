@@ -47,6 +47,10 @@ struct RunConfig {
   /// Fitted policy-table CSV for the policy-table controller
   /// (COOLPIM_POLICY_TABLE / --policy-table); empty = compiled-in default.
   std::string policy_table_path;
+  /// HMC service-backend fidelity tier by registered name
+  /// (COOLPIM_HMC_BACKEND / --hmc-backend, see hmc/backend.hpp); empty =
+  /// keep the entry point's default (epoch-throughput).
+  std::string hmc_backend;
   /// Fleet-tier knobs (docs/FLEET.md), consumed by fleet entry points only.
   /// Node count (COOLPIM_FLEET_NODES / --fleet-nodes, range [1, 4096]).
   unsigned fleet_nodes{8};

@@ -21,6 +21,7 @@
 #include "control/policy_table.hpp"
 #include "fault/fault_config.hpp"
 #include "gpu/config.hpp"
+#include "hmc/backend.hpp"
 #include "hmc/config.hpp"
 #include "hmc/thermal_policy.hpp"
 #include "obs/observer.hpp"
@@ -36,6 +37,13 @@ struct SystemConfig {
   gpu::GpuConfig gpu{};
   hmc::HmcConfig hmc{hmc::hmc20_config()};
   hmc::ThermalPolicy policy{};
+  /// HMC service-backend fidelity tier (hmc/backend.hpp registry; selected
+  /// by --hmc-backend / COOLPIM_HMC_BACKEND).  The default tier reproduces
+  /// the pre-contract simulator byte for byte, and -- like `fault` and the
+  /// predictive-policy configs -- is hashed into the experiment key only
+  /// when it differs from the default, so every existing key and golden
+  /// result is preserved.
+  hmc::BackendKind backend{hmc::BackendKind::kEpochThroughput};
   power::EnergyParams energy{};
   power::CoolingType cooling{power::CoolingType::kCommodityServer};
   Scenario scenario{Scenario::kCoolPimHw};

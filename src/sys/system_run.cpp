@@ -40,7 +40,8 @@ std::unique_ptr<control::Policy> make_controller(const SystemConfig& cfg,
 
 SystemRun::SystemRun(SystemConfig cfg, const graph::WorkloadProfile& workload)
     : cfg_{std::move(cfg)},
-      hmc_model_{cfg_.hmc, cfg_.policy},
+      backend_{hmc::make_backend(
+          hmc::BackendBuild{cfg_.backend, cfg_.hmc, cfg_.policy, cfg_.run_seed, {}})},
       therm_{thermal::hmc20_thermal_config(cfg_.cooling)} {
   COOLPIM_REQUIRE(workload.graph_vertices > 0, "workload missing graph metadata");
 
@@ -50,8 +51,9 @@ SystemRun::SystemRun(SystemConfig cfg, const graph::WorkloadProfile& workload)
     tr_ = cfg_.observer->trace();
     ctr_ = &cfg_.observer->counters;
   }
+  backend_->set_observer(tr_, ctr_);
 
-  const hmc::LinkModel& link = hmc_model_.link();
+  const hmc::LinkModel& link = backend_->link();
   ideal_ = cfg_.scenario == Scenario::kIdealThermal;
 
   // Property footprint: two 4-byte property arrays (e.g. level + frontier
@@ -210,7 +212,6 @@ void SystemRun::begin_pass(Time epoch, bool measure) {
 }
 
 bool SystemRun::pass_epoch() {
-  const hmc::LinkModel& link = hmc_model_.link();
   while (!engine_->finished()) {
     COOLPIM_REQUIRE(now_ - pass_.start < cfg_.max_time, "run exceeded max_time");
     Time left = pass_.epoch;
@@ -224,7 +225,7 @@ bool SystemRun::pass_epoch() {
       pass_.dem_reads += demand.reads;
       pass_.dem_writes += demand.writes;
       pass_.dem_pims += demand.pim_ops;
-      const auto service = hmc_model_.serve(demand, left, temp);
+      const auto service = backend_->serve(demand, left, temp);
       if (service.shut_down) {
         // Conservative device behaviour: stop, cool, lose data (paper
         // III-A.2); account the recovery and restart the pass cold.
@@ -250,11 +251,14 @@ bool SystemRun::pass_epoch() {
     if (step <= Time::zero()) continue;
     const double secs = step.as_sec();
 
-    // Power from the epoch's served traffic.
+    // Power from the epoch's served traffic, through the backend's
+    // thermal-power hook (the default maps the mix via its LinkModel,
+    // matching the pre-contract arithmetic exactly).
     hmc::TransactionMix mix{reads / secs, writes / secs, pim_ops / secs, 0.0};
+    const hmc::ThermalPower tp = backend_->thermal_power(mix);
     power::OperatingPoint op;
-    op.link_raw = link.raw_link_bandwidth(mix);
-    op.dram_internal = link.internal_dram_bandwidth(mix);
+    op.link_raw = tp.link_raw;
+    op.dram_internal = tp.dram_internal;
     op.pim_ops_per_sec = mix.pim_per_sec;
     const int level =
         ideal_ ? 0 : std::min(2, static_cast<int>(cfg_.policy.phase(therm_.peak_dram())));
@@ -288,17 +292,18 @@ bool SystemRun::pass_epoch() {
 }
 
 void SystemRun::post_step() {
-  const hmc::LinkModel& link = hmc_model_.link();
+  const hmc::LinkModel& link = backend_->link();
   const Time step = ep_.step;
   const double secs = ep_.secs;
+  // Served-op counters come from the backend's op-accounting hook: every
+  // drain emits round(exact total) - emitted-so-far, so totals are a single
+  // rounding of the exact sums and backend-comparable by construction.
+  const hmc::OpDelta op_delta = backend_->drain_op_delta();
   if (ctr_ != nullptr) {
     ctr_->counter(obs::names::kSysEpochs).add();
-    ctr_->counter(obs::names::kHmcServedReads)
-        .add(static_cast<std::uint64_t>(ep_.reads + 0.5));
-    ctr_->counter(obs::names::kHmcServedWrites)
-        .add(static_cast<std::uint64_t>(ep_.writes + 0.5));
-    ctr_->counter(obs::names::kHmcServedPimOps)
-        .add(static_cast<std::uint64_t>(ep_.pim_ops + 0.5));
+    ctr_->counter(obs::names::kHmcServedReads).add(op_delta.reads);
+    ctr_->counter(obs::names::kHmcServedWrites).add(op_delta.writes);
+    ctr_->counter(obs::names::kHmcServedPimOps).add(op_delta.pim_ops);
   }
   if (pass_.measure) {
     result_.cube_energy_j += ep_.pb.total().value() * secs;
@@ -345,7 +350,7 @@ void SystemRun::post_step() {
     result_.link_data_bytes += link.data_bandwidth(ep_.mix).as_bytes_per_sec() * secs;
     result_.link_raw_bytes += ep_.op.link_raw.as_bytes_per_sec() * secs;
     result_.dram_internal_bytes += ep_.op.dram_internal.as_bytes_per_sec() * secs;
-    result_.pim_ops += static_cast<std::uint64_t>(ep_.pim_ops + 0.5);
+    result_.pim_ops += op_delta.pim_ops;
     if (!ideal_ && cfg_.policy.phase(dram) != hmc::ThermalPhase::kNormal) {
       result_.time_above_normal += step;
     }
@@ -397,7 +402,9 @@ void SystemRun::warmup_jump() {
   // solution represents best.
   auto solve_at = [&](int level) {
     const Celsius probe{level == 0 ? 80.0 : (level == 1 ? 90.0 : 100.0)};
-    const auto svc = hmc_model_.serve(ema_, Time::sec(1.0), probe);
+    // probe(): what-if serve with no op accounting and no backend state
+    // advanced -- the jump is a fast-forward, not served traffic.
+    const auto svc = backend_->probe(ema_, Time::sec(1.0), probe);
     power::OperatingPoint op;
     op.link_raw = svc.link_raw;
     op.dram_internal = svc.dram_internal;

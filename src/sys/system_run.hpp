@@ -32,7 +32,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/watchdog.hpp"
 #include "gpu/engine.hpp"
-#include "hmc/throughput_model.hpp"
+#include "hmc/backend.hpp"
 #include "obs/trace.hpp"
 #include "sys/system.hpp"
 #include "thermal/hmc_thermal.hpp"
@@ -139,7 +139,9 @@ class SystemRun {
   SystemConfig cfg_;
   obs::Trace tr_;
   obs::CounterRegistry* ctr_{nullptr};
-  hmc::ThroughputModel hmc_model_;
+  /// HMC service backend behind the fidelity contract (hmc/backend.hpp);
+  /// built from cfg_.backend by hmc::make_backend.
+  std::unique_ptr<hmc::Backend> backend_;
   bool ideal_{false};
   bool faulty_{false};
 

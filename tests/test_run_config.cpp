@@ -176,7 +176,8 @@ TEST(RunConfigTest, FlagsHelpMentionsEveryFlag) {
         "--profile-cache", "--policy", "--policy-table", "--fleet-nodes",
         "--arrival-rate", "--balancer", "--fault-drop", "--fault-corrupt",
         "--fault-spurious", "--fault-delay-us", "--fault-noise-c", "--fault-quant-c",
-        "--fault-stuck", "--fault-outage", "--fault-watchdog", "--fault-enable"}) {
+        "--fault-stuck", "--fault-outage", "--fault-watchdog", "--fault-enable",
+        "--hmc-backend"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag << " missing from help";
   }
 }
@@ -221,6 +222,53 @@ TEST(RunConfigTest, FleetKnobValidation) {
   Args args{{"--balancer", "not-yet-registered"}};
   const RunConfig rc = RunConfig::from_args(&args.argc, args.argv.data());
   EXPECT_EQ(rc.balancer, "not-yet-registered");
+}
+
+TEST(RunConfigTest, HmcBackendDefaultsToTheEpochTier) {
+  const RunConfig rc;
+  EXPECT_TRUE(rc.hmc_backend.empty());
+  SystemConfig cfg;
+  rc.apply_to(cfg);
+  EXPECT_EQ(cfg.backend, hmc::BackendKind::kEpochThroughput);
+}
+
+TEST(RunConfigTest, HmcBackendResolvesFromCliAndEnvironment) {
+  ScopedEnv env{"COOLPIM_HMC_BACKEND", "event-detailed"};
+  {
+    // Environment over default.
+    const RunConfig rc = RunConfig::from_env();
+    EXPECT_EQ(rc.hmc_backend, "event-detailed");
+    SystemConfig cfg;
+    rc.apply_to(cfg);
+    EXPECT_EQ(cfg.backend, hmc::BackendKind::kEventDetailed);
+  }
+  // CLI over environment; both flag forms work.
+  Args args{{"--hmc-backend", "pim-vault"}};
+  const RunConfig rc = RunConfig::resolve(&args.argc, args.argv.data());
+  EXPECT_EQ(rc.hmc_backend, "pim-vault");
+  SystemConfig cfg;
+  rc.apply_to(cfg);
+  EXPECT_EQ(cfg.backend, hmc::BackendKind::kPimVault);
+  EXPECT_TRUE(args.remaining().empty());
+
+  Args eq{{"--hmc-backend=epoch-throughput"}};
+  const RunConfig rc2 = RunConfig::from_args(&eq.argc, eq.argv.data());
+  EXPECT_EQ(rc2.hmc_backend, "epoch-throughput");
+}
+
+TEST(RunConfigTest, HmcBackendUnknownNameFailsListingTheRegistry) {
+  Args args{{"--hmc-backend", "warp-speed"}};
+  try {
+    (void)RunConfig::from_args(&args.argc, args.argv.data());
+    FAIL() << "unknown backend name accepted";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp-speed"), std::string::npos);
+    // The message lists the registered vocabulary so the fix is obvious.
+    for (const char* name : {"epoch-throughput", "event-detailed", "pim-vault"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << name << " not in: " << what;
+    }
+  }
 }
 
 TEST(RunConfigTest, ThermalBatchKnobDefaults) {

@@ -175,7 +175,7 @@ SCHEMAS = {
         "gate.jobs_bit_identical": bool,
         "gate.pass": bool,
     },
-    "coolpim-bench-sim/2": {
+    "coolpim-bench-sim/3": {
         "quick": bool,
         "queue.events": NUM,
         "queue.wall_ms": NUM,
@@ -205,6 +205,17 @@ SCHEMAS = {
         "sweep_batch.sweep_speedup_b8_vs_b1": NUM,
         "sweep_batch.bit_identical": bool,
         "sweep_batch.gate_pass": bool,
+        "backend.xval_epochs": NUM,
+        "backend.xval_tolerance": NUM,
+        "backend.xval[].kernel": str,
+        "backend.xval[].epoch_op_per_ns": NUM,
+        "backend.xval[].pim_op_per_ns": NUM,
+        "backend.xval[].ratio": NUM,
+        "backend.xval[].pass": bool,
+        "backend.epoch_throughput_ns_per_epoch": NUM,
+        "backend.event_detailed_ns_per_epoch": NUM,
+        "backend.pim_vault_ns_per_epoch": NUM,
+        "backend.gate_pass": bool,
     },
 }
 
@@ -228,7 +239,7 @@ THROUGHPUT_KEYS = {
         "cache.warm_speedup_vs_serial",
         "csr.speedup",
     ],
-    "coolpim-bench-sim/2": [
+    "coolpim-bench-sim/3": [
         "queue.events_per_sec",
         "periodic.events_per_sec",
         "sweep_batch.sweep_speedup_b8_vs_b1",
